@@ -1,0 +1,205 @@
+// Micro/ablation benches for the design choices DESIGN.md calls out:
+//  * substrate costs (buffer serialization, exchange rounds),
+//  * receiver-side combining via hash staging vs the scatter channel's
+//    pre-sorted linear scan (the Section V-B1 analysis),
+//  * the scatter handshake amortization (identifier shipping is a one-time
+//    cost; steady-state supersteps transmit bare values),
+//  * request deduplication under extreme skew (star graph),
+//  * the locality partitioner's edge-cut vs hash placement.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pointer_jumping.hpp"
+#include "algorithms/sssp.hpp"
+#include "bench_common.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/exchange.hpp"
+#include "runtime/team.hpp"
+
+namespace {
+
+using namespace pregel;
+
+// ---------------------------------------------------------- substrate -----
+
+void Substrate_BufferWriteRead(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  runtime::Buffer buf;
+  for (auto _ : state) {
+    buf.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      buf.write<std::uint64_t>(i);
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += buf.read<std::uint64_t>();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          sizeof(std::uint64_t) * 2);
+}
+BENCHMARK(Substrate_BufferWriteRead)->Unit(benchmark::kMillisecond);
+
+void Substrate_ExchangeRound(benchmark::State& state) {
+  const int workers = bench::num_workers();
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    runtime::Barrier barrier(workers);
+    runtime::BufferExchange ex(workers, barrier);
+    runtime::WorkerTeam::run(workers, [&](int rank) {
+      std::vector<std::byte> data(payload);
+      for (int round = 0; round < 50; ++round) {
+        for (int to = 0; to < workers; ++to) {
+          ex.outbox(rank, to).write_bytes(data.data(), data.size());
+        }
+        ex.exchange(rank);
+      }
+    });
+    benchmark::DoNotOptimize(ex.total_bytes());
+  }
+}
+BENCHMARK(Substrate_ExchangeRound)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------- combining: hash vs linear scan ----
+
+PGCH_CACHED_DG(wiki, bench::hash_dg(bench::wikipedia_graph()))
+
+void Combining_HashStaging_PR5(benchmark::State& s) {
+  bench::run_case<algo::PageRankCombined>(
+      s, wiki(), [](algo::PageRankCombined& w) { w.iterations = 5; });
+}
+void Combining_LinearScan_PR5(benchmark::State& s) {
+  bench::run_case<algo::PageRankScatter>(
+      s, wiki(), [](algo::PageRankScatter& w) { w.iterations = 5; });
+}
+BENCHMARK(Combining_HashStaging_PR5)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(Combining_LinearScan_PR5)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+// ------------------------------------------ scatter handshake amortization
+
+/// Bytes per superstep for a short vs a long scatter run: the handshake
+/// (destination indices) is paid once, so the long run's per-superstep
+/// byte cost must drop markedly below the short run's.
+void Scatter_HandshakeAmortization(benchmark::State& state) {
+  const int iterations = static_cast<int>(state.range(0));
+  double per_step_mb = 0.0;
+  for (auto _ : state) {
+    const auto stats = algo::run_only<algo::PageRankScatter>(
+        wiki(), [iterations](algo::PageRankScatter& w) {
+          w.iterations = iterations;
+        });
+    state.SetIterationTime(stats.seconds);
+    per_step_mb = stats.message_mb() / stats.supersteps;
+  }
+  state.counters["MB_per_superstep"] = per_step_mb;
+}
+BENCHMARK(Scatter_HandshakeAmortization)
+    ->Arg(2)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+// ----------------------------------------- request dedup on extreme skew --
+
+PGCH_CACHED_DG(star, bench::hash_dg(pregel::graph::star(bench::scaled(200'000))))
+
+void Skew_Star_AskReply(benchmark::State& s) {
+  bench::run_case<algo::PointerJumpingBasic>(s, star());
+}
+void Skew_Star_RequestRespond(benchmark::State& s) {
+  bench::run_case<algo::PointerJumpingReqResp>(s, star());
+}
+BENCHMARK(Skew_Star_AskReply)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(Skew_Star_RequestRespond)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+// -------------------------------- extension: mirror vs scatter broadcast --
+
+/// Sender-centric (mirror) vs receiver-centric (scatter) combining on the
+/// same static PageRank broadcast: mirroring ships one value per (vertex,
+/// worker), scatter one per (worker, unique destination).
+void Broadcast_ScatterCombine_PR(benchmark::State& s) {
+  bench::run_case<algo::PageRankScatter>(
+      s, wiki(), [](algo::PageRankScatter& w) { w.iterations = 10; });
+}
+void Broadcast_MirrorScatter_PR(benchmark::State& s) {
+  bench::run_case<algo::PageRankMirror>(
+      s, wiki(), [](algo::PageRankMirror& w) { w.iterations = 10; });
+}
+BENCHMARK(Broadcast_ScatterCombine_PR)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(Broadcast_MirrorScatter_PR)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+// ------------------------- extension: weighted propagation on SSSP --------
+
+/// The weighted propagation channel collapses SSSP's O(diameter)
+/// supersteps into one communication phase — most visible on the
+/// high-diameter road network.
+PGCH_CACHED_DG(road, bench::hash_dg(bench::usa_graph()))
+
+void Sssp_MessagePassing_Road(benchmark::State& s) {
+  bench::run_case<algo::Sssp>(s, road(),
+                              [](algo::Sssp& w) { w.source = 0; });
+}
+void Sssp_PropagationW_Road(benchmark::State& s) {
+  bench::run_case<algo::SsspPropagation>(
+      s, road(), [](algo::SsspPropagation& w) { w.source = 0; });
+}
+BENCHMARK(Sssp_MessagePassing_Road)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(Sssp_PropagationW_Road)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+// ------------------------------------------------- partitioner edge cut ---
+
+void Partition_EdgeCut(benchmark::State& state) {
+  const auto& g = bench::wikipedia_graph();
+  double hash_cut = 0.0, voronoi_cut = 0.0;
+  for (auto _ : state) {
+    const auto hash =
+        pregel::graph::hash_partition(g.num_vertices(), bench::num_workers());
+    pregel::graph::VoronoiOptions opts;
+    opts.num_workers = bench::num_workers();
+    const auto voronoi = pregel::graph::voronoi_partition(g, opts);
+    hash_cut = hash.edge_cut(g);
+    voronoi_cut = voronoi.edge_cut(g);
+    benchmark::DoNotOptimize(voronoi.owner.data());
+  }
+  state.counters["hash_cut"] = hash_cut;
+  state.counters["voronoi_cut"] = voronoi_cut;
+}
+BENCHMARK(Partition_EdgeCut)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

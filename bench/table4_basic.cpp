@@ -1,0 +1,172 @@
+// Table IV: straightforward rewriting — Pregel+ basic implementations vs
+// their channel-based ports, across all six evaluation algorithms.
+//
+// Paper rows (runtime s / message GB, pregel -> channel):
+//   PR  : WebUK 212.24/63.23 -> 205.80/63.23; Wikipedia 47.32/14.02 -> 40.36/14.02
+//   WCC : Wikipedia 16.96/2.85 -> 15.67/2.85; Wikipedia (P) 15.31/0.49 -> 15.85/0.49
+//   PJ  : Chain 111.54/39.99 -> 69.63/39.99;  Tree 36.25/8.56 -> 19.94/8.56
+//   S-V : Facebook 49.74/16.41 -> 37.92/11.46; Twitter 382.60/112.21 -> 144.99/20.32
+//   MSF : USA 27.05/8.67 -> 16.13/4.86;       RMAT24 50.56/14.80 -> 45.94/12.91
+//   SCC : Wikipedia 52.15/9.85 -> 61.89/4.98; Wikipedia (P) 50.51/2.70 -> 67.84/1.29
+//
+// Expected shape: channel wins or ties everywhere except SCC (channel
+// round overhead over ~10^3 sparse supersteps); big byte reductions for
+// S-V / MSF / SCC (per-channel combiners + per-channel message types).
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/msf.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pointer_jumping.hpp"
+#include "algorithms/pp_msf.hpp"
+#include "algorithms/pp_scc.hpp"
+#include "algorithms/pp_simple.hpp"
+#include "algorithms/pp_sv.hpp"
+#include "algorithms/scc.hpp"
+#include "algorithms/sv.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pregel;
+
+PGCH_CACHED_DG(webuk, bench::hash_dg(bench::webuk_graph()))
+PGCH_CACHED_DG(wikipedia, bench::hash_dg(bench::wikipedia_graph()))
+PGCH_CACHED_DG(chain, bench::hash_dg(bench::chain_graph()))
+PGCH_CACHED_DG(tree, bench::hash_dg(bench::tree_graph()))
+PGCH_CACHED_DG(facebook, bench::hash_dg(bench::facebook_graph()))
+PGCH_CACHED_DG(twitter, bench::hash_dg(bench::twitter_graph()))
+PGCH_CACHED_DG(usa, bench::hash_dg(bench::usa_graph()))
+PGCH_CACHED_DG(rmat24, bench::hash_dg(bench::rmat24_graph()))
+
+const bench::Graph& wiki_sym() {
+  static const bench::Graph g = bench::wikipedia_graph().symmetrized();
+  return g;
+}
+const bench::Graph& wiki_bi() {
+  static const bench::Graph g =
+      algo::make_bidirected(bench::wikipedia_scc_graph());
+  return g;
+}
+
+PGCH_CACHED_DG(wiki_sym_hash, bench::hash_dg(wiki_sym()))
+PGCH_CACHED_DG(wiki_sym_part, bench::voronoi_dg(wiki_sym()))
+PGCH_CACHED_DG(wiki_bi_hash, bench::hash_dg(wiki_bi()))
+PGCH_CACHED_DG(wiki_bi_part, bench::voronoi_dg(wiki_bi()))
+
+// --------------------------------------------------------------- PR -------
+void PR_WebUK_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPPageRank>(s, webuk());
+}
+void PR_WebUK_Channel(benchmark::State& s) {
+  bench::run_case<algo::PageRankCombined>(s, webuk());
+}
+void PR_Wikipedia_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPPageRank>(s, wikipedia());
+}
+void PR_Wikipedia_Channel(benchmark::State& s) {
+  bench::run_case<algo::PageRankCombined>(s, wikipedia());
+}
+
+// --------------------------------------------------------------- WCC ------
+void WCC_Wikipedia_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPWcc>(s, wiki_sym_hash());
+}
+void WCC_Wikipedia_Channel(benchmark::State& s) {
+  bench::run_case<algo::WccBasic>(s, wiki_sym_hash());
+}
+void WCC_WikipediaP_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPWcc>(s, wiki_sym_part());
+}
+void WCC_WikipediaP_Channel(benchmark::State& s) {
+  bench::run_case<algo::WccBasic>(s, wiki_sym_part());
+}
+
+// --------------------------------------------------------------- PJ -------
+void PJ_Chain_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPPointerJumping>(s, chain());
+}
+void PJ_Chain_Channel(benchmark::State& s) {
+  bench::run_case<algo::PointerJumpingBasic>(s, chain());
+}
+void PJ_Tree_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPPointerJumping>(s, tree());
+}
+void PJ_Tree_Channel(benchmark::State& s) {
+  bench::run_case<algo::PointerJumpingBasic>(s, tree());
+}
+
+// --------------------------------------------------------------- S-V ------
+void SV_Facebook_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPSv>(s, facebook());
+}
+void SV_Facebook_Channel(benchmark::State& s) {
+  bench::run_case<algo::SvBasic>(s, facebook());
+}
+void SV_Twitter_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPSv>(s, twitter());
+}
+void SV_Twitter_Channel(benchmark::State& s) {
+  bench::run_case<algo::SvBasic>(s, twitter());
+}
+
+// --------------------------------------------------------------- MSF ------
+void MSF_USA_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPMsf>(s, usa());
+}
+void MSF_USA_Channel(benchmark::State& s) {
+  bench::run_case<algo::MsfBoruvka>(s, usa());
+}
+void MSF_RMAT24_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPMsf>(s, rmat24());
+}
+void MSF_RMAT24_Channel(benchmark::State& s) {
+  bench::run_case<algo::MsfBoruvka>(s, rmat24());
+}
+
+// --------------------------------------------------------------- SCC ------
+void SCC_Wikipedia_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPScc>(s, wiki_bi_hash());
+}
+void SCC_Wikipedia_Channel(benchmark::State& s) {
+  bench::run_case<algo::SccBasic>(s, wiki_bi_hash());
+}
+void SCC_WikipediaP_Pregel(benchmark::State& s) {
+  bench::run_case<algo::PPScc>(s, wiki_bi_part());
+}
+void SCC_WikipediaP_Channel(benchmark::State& s) {
+  bench::run_case<algo::SccBasic>(s, wiki_bi_part());
+}
+
+#define PGCH_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1)
+
+PGCH_BENCH(PR_WebUK_Pregel);
+PGCH_BENCH(PR_WebUK_Channel);
+PGCH_BENCH(PR_Wikipedia_Pregel);
+PGCH_BENCH(PR_Wikipedia_Channel);
+PGCH_BENCH(WCC_Wikipedia_Pregel);
+PGCH_BENCH(WCC_Wikipedia_Channel);
+PGCH_BENCH(WCC_WikipediaP_Pregel);
+PGCH_BENCH(WCC_WikipediaP_Channel);
+PGCH_BENCH(PJ_Chain_Pregel);
+PGCH_BENCH(PJ_Chain_Channel);
+PGCH_BENCH(PJ_Tree_Pregel);
+PGCH_BENCH(PJ_Tree_Channel);
+PGCH_BENCH(SV_Facebook_Pregel);
+PGCH_BENCH(SV_Facebook_Channel);
+PGCH_BENCH(SV_Twitter_Pregel);
+PGCH_BENCH(SV_Twitter_Channel);
+PGCH_BENCH(MSF_USA_Pregel);
+PGCH_BENCH(MSF_USA_Channel);
+PGCH_BENCH(MSF_RMAT24_Pregel);
+PGCH_BENCH(MSF_RMAT24_Channel);
+PGCH_BENCH(SCC_Wikipedia_Pregel);
+PGCH_BENCH(SCC_Wikipedia_Channel);
+PGCH_BENCH(SCC_WikipediaP_Pregel);
+PGCH_BENCH(SCC_WikipediaP_Channel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

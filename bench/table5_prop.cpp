@@ -1,0 +1,73 @@
+// Table V (bottom): the propagation channel on WCC (the HCC algorithm),
+// on the hash-partitioned and on the locality-partitioned Wikipedia
+// stand-in.
+//
+// Paper rows (runtime s / message GB on Wikipedia and Wikipedia (P)):
+//   pregel+(basic)   16.96 / 2.85     15.31 / 0.49
+//   blogel           20.39 / 1.11      5.10 / 0.11
+//   channel (basic)  15.67 / 2.85     15.85 / 0.49
+//   channel (prop.)   8.64 / 1.66      3.05 / 0.17
+//
+// Expected shape: partitioning alone does not speed up plain hashmin (it
+// still needs O(diameter) supersteps); Blogel only shines on the
+// partitioned graph; the propagation channel is fastest on both.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/blogel_wcc.hpp"
+#include "algorithms/pp_simple.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pregel;
+
+const bench::Graph& wiki_sym() {
+  static const bench::Graph g = bench::wikipedia_graph().symmetrized();
+  return g;
+}
+
+PGCH_CACHED_DG(wiki_hash, bench::hash_dg(wiki_sym()))
+PGCH_CACHED_DG(wiki_part, bench::voronoi_dg(wiki_sym()))
+
+void WCC_Wikipedia_PregelBasic(benchmark::State& s) {
+  bench::run_case<algo::PPWcc>(s, wiki_hash());
+}
+void WCC_Wikipedia_Blogel(benchmark::State& s) {
+  bench::run_case<algo::BlogelWcc>(s, wiki_hash());
+}
+void WCC_Wikipedia_ChannelBasic(benchmark::State& s) {
+  bench::run_case<algo::WccBasic>(s, wiki_hash());
+}
+void WCC_Wikipedia_ChannelProp(benchmark::State& s) {
+  bench::run_case<algo::WccPropagation>(s, wiki_hash());
+}
+void WCC_WikipediaP_PregelBasic(benchmark::State& s) {
+  bench::run_case<algo::PPWcc>(s, wiki_part());
+}
+void WCC_WikipediaP_Blogel(benchmark::State& s) {
+  bench::run_case<algo::BlogelWcc>(s, wiki_part());
+}
+void WCC_WikipediaP_ChannelBasic(benchmark::State& s) {
+  bench::run_case<algo::WccBasic>(s, wiki_part());
+}
+void WCC_WikipediaP_ChannelProp(benchmark::State& s) {
+  bench::run_case<algo::WccPropagation>(s, wiki_part());
+}
+
+#define PGCH_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1)
+
+PGCH_BENCH(WCC_Wikipedia_PregelBasic);
+PGCH_BENCH(WCC_Wikipedia_Blogel);
+PGCH_BENCH(WCC_Wikipedia_ChannelBasic);
+PGCH_BENCH(WCC_Wikipedia_ChannelProp);
+PGCH_BENCH(WCC_WikipediaP_PregelBasic);
+PGCH_BENCH(WCC_WikipediaP_Blogel);
+PGCH_BENCH(WCC_WikipediaP_ChannelBasic);
+PGCH_BENCH(WCC_WikipediaP_ChannelProp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

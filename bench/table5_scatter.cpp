@@ -1,0 +1,75 @@
+// Table V (top): the scatter-combine channel on PageRank.
+//
+// Paper rows (runtime s / message GB on Wikipedia and WebUK):
+//   pregel+(basic)    47.32 / 14.02    212.24 / 63.23
+//   pregel+(ghost)    45.55 /  4.70    246.41 / 23.69
+//   channel (basic)   40.36 / 14.02    205.80 / 63.23
+//   channel (scatter) 15.58 /  9.50     67.00 / 42.86
+//
+// Expected shape: channel(basic) ~ pregel+(basic) in both time and bytes;
+// ghost reduces bytes but not time; scatter ~3x faster with ~1/3 fewer
+// bytes (identifier removal after the handshake).
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pp_simple.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pregel;
+
+PGCH_CACHED_DG(wikipedia, bench::hash_dg(bench::wikipedia_graph()))
+PGCH_CACHED_DG(webuk, bench::hash_dg(bench::webuk_graph()))
+
+constexpr int kIterations = 30;  // the paper's 30 PageRank supersteps
+
+template <typename WorkerT>
+void pagerank_case(benchmark::State& state,
+                   const bench::DistributedGraph& dg) {
+  bench::run_case<WorkerT>(state, dg, [](WorkerT& w) {
+    w.iterations = kIterations;
+  });
+}
+
+void PR_Wikipedia_PregelBasic(benchmark::State& s) {
+  pagerank_case<algo::PPPageRank>(s, wikipedia());
+}
+void PR_Wikipedia_PregelGhost(benchmark::State& s) {
+  pagerank_case<algo::PPPageRankGhost>(s, wikipedia());
+}
+void PR_Wikipedia_ChannelBasic(benchmark::State& s) {
+  pagerank_case<algo::PageRankCombined>(s, wikipedia());
+}
+void PR_Wikipedia_ChannelScatter(benchmark::State& s) {
+  pagerank_case<algo::PageRankScatter>(s, wikipedia());
+}
+void PR_WebUK_PregelBasic(benchmark::State& s) {
+  pagerank_case<algo::PPPageRank>(s, webuk());
+}
+void PR_WebUK_PregelGhost(benchmark::State& s) {
+  pagerank_case<algo::PPPageRankGhost>(s, webuk());
+}
+void PR_WebUK_ChannelBasic(benchmark::State& s) {
+  pagerank_case<algo::PageRankCombined>(s, webuk());
+}
+void PR_WebUK_ChannelScatter(benchmark::State& s) {
+  pagerank_case<algo::PageRankScatter>(s, webuk());
+}
+
+#define PGCH_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1)
+
+PGCH_BENCH(PR_Wikipedia_PregelBasic);
+PGCH_BENCH(PR_Wikipedia_PregelGhost);
+PGCH_BENCH(PR_Wikipedia_ChannelBasic);
+PGCH_BENCH(PR_Wikipedia_ChannelScatter);
+PGCH_BENCH(PR_WebUK_PregelBasic);
+PGCH_BENCH(PR_WebUK_PregelGhost);
+PGCH_BENCH(PR_WebUK_ChannelBasic);
+PGCH_BENCH(PR_WebUK_ChannelScatter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

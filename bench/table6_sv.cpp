@@ -1,0 +1,76 @@
+// Table VI: composing channels in the S-V algorithm — the paper's
+// headline experiment.
+//
+// Paper rows (runtime s / message GB on Facebook and Twitter):
+//   1-pregel+(reqresp)  35.67 / 6.33    182.93 / 19.66
+//   2-channel (basic)   37.92 / 11.46   144.99 / 20.32
+//   3-channel (reqresp) 26.83 / 5.45    138.44 / 16.76
+//   4-channel (scatter) 33.21 / 9.09     87.52 / 13.34
+//   5-channel (both)    22.29 / 3.08     79.76 / 9.78
+//
+// Expected shape: either optimized channel helps; which helps MORE
+// depends on density (scatter wins on the dense Twitter stand-in,
+// request-respond on the sparse Facebook stand-in); the composition
+// (program 5) is fastest and lightest on both.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/pp_sv.hpp"
+#include "algorithms/sv.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pregel;
+
+PGCH_CACHED_DG(facebook, bench::hash_dg(bench::facebook_graph()))
+PGCH_CACHED_DG(twitter, bench::hash_dg(bench::twitter_graph()))
+
+void SV_Facebook_1_PregelReqResp(benchmark::State& s) {
+  bench::run_case<algo::PPSvReqResp>(s, facebook());
+}
+void SV_Facebook_2_ChannelBasic(benchmark::State& s) {
+  bench::run_case<algo::SvBasic>(s, facebook());
+}
+void SV_Facebook_3_ChannelReqResp(benchmark::State& s) {
+  bench::run_case<algo::SvReqResp>(s, facebook());
+}
+void SV_Facebook_4_ChannelScatter(benchmark::State& s) {
+  bench::run_case<algo::SvScatter>(s, facebook());
+}
+void SV_Facebook_5_ChannelBoth(benchmark::State& s) {
+  bench::run_case<algo::SvBoth>(s, facebook());
+}
+void SV_Twitter_1_PregelReqResp(benchmark::State& s) {
+  bench::run_case<algo::PPSvReqResp>(s, twitter());
+}
+void SV_Twitter_2_ChannelBasic(benchmark::State& s) {
+  bench::run_case<algo::SvBasic>(s, twitter());
+}
+void SV_Twitter_3_ChannelReqResp(benchmark::State& s) {
+  bench::run_case<algo::SvReqResp>(s, twitter());
+}
+void SV_Twitter_4_ChannelScatter(benchmark::State& s) {
+  bench::run_case<algo::SvScatter>(s, twitter());
+}
+void SV_Twitter_5_ChannelBoth(benchmark::State& s) {
+  bench::run_case<algo::SvBoth>(s, twitter());
+}
+
+#define PGCH_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1)
+
+PGCH_BENCH(SV_Facebook_1_PregelReqResp);
+PGCH_BENCH(SV_Facebook_2_ChannelBasic);
+PGCH_BENCH(SV_Facebook_3_ChannelReqResp);
+PGCH_BENCH(SV_Facebook_4_ChannelScatter);
+PGCH_BENCH(SV_Facebook_5_ChannelBoth);
+PGCH_BENCH(SV_Twitter_1_PregelReqResp);
+PGCH_BENCH(SV_Twitter_2_ChannelBasic);
+PGCH_BENCH(SV_Twitter_3_ChannelReqResp);
+PGCH_BENCH(SV_Twitter_4_ChannelScatter);
+PGCH_BENCH(SV_Twitter_5_ChannelBoth);
+
+}  // namespace
+
+BENCHMARK_MAIN();

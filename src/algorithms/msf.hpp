@@ -1,0 +1,258 @@
+#pragma once
+// Minimum spanning forest: distributed Boruvka in the Chung-Condon style
+// [6] — the paper's example of an algorithm with *heterogeneous* message
+// types (Table IV MSF rows): component broadcasts and pointer-jumping
+// conversations are single ints, minimum-edge candidates are 4-int tuples.
+// The channel engine gives each its own channel (and the candidate channel
+// a lexicographic-min combiner); Pregel+ must widen everything to the
+// 4-tuple and loses combining entirely (see pp_msf.hpp).
+//
+// One Boruvka round:
+//   Bcast    every vertex tells its live neighbors its component id
+//   MinEdge  prune now-internal edges; send the lightest external edge
+//            (normalized (w, min(u,v), max(u,v), target-component)) to the
+//            component root through a min-combined channel
+//   Pick     roots adopt their minimum candidate and point at the target
+//            component, then ask the target for its pick (mutual check)
+//   Mutual   targets answer
+//   Resolve  2-cycles break toward the smaller id; the surviving picker
+//            counts the edge weight; everyone starts pointer jumping
+//   Jump*    ask/reply pointer jumping until every vertex knows its new
+//            root; then the next round begins
+// Rounds end when no component found an external edge.
+//
+// Input convention: undirected weighted graph (both directions present).
+// The MSF weight is accumulated on the vertices that counted edges; sum
+// msf_weight over all vertices to obtain the forest weight.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pregel_channel.hpp"
+
+namespace pregel::algo {
+
+using namespace pregel::core;
+
+/// Normalized candidate edge: ordered by (w, a, b); `target` is the
+/// component on the other side, relative to the receiving root.
+struct CandEdge {
+  graph::Weight w = graph::kInfWeight;
+  VertexId a = graph::kInvalidVertex;
+  VertexId b = graph::kInvalidVertex;
+  VertexId target = graph::kInvalidVertex;
+
+  friend bool operator==(const CandEdge&, const CandEdge&) = default;
+};
+
+inline bool cand_less(const CandEdge& x, const CandEdge& y) {
+  if (x.w != y.w) return x.w < y.w;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// Broadcast payload of the Bcast phase.
+struct NbrComp {
+  VertexId sender = 0;
+  VertexId comp = 0;
+};
+
+struct MsfValue {
+  VertexId comp = 0;    ///< current component id (a root vertex's id)
+  VertexId parent = 0;  ///< merge pointer being flattened by the jumps
+  bool jdone = false;   ///< pointer jumping finished for this vertex
+  std::uint64_t msf_weight = 0;  ///< edge weights this vertex counted
+  std::vector<graph::Edge> live;  ///< still-external candidate edges
+};
+
+using MsfVertex = Vertex<MsfValue>;
+
+class MsfBoruvka : public Worker<MsfVertex> {
+ public:
+  enum class Phase {
+    kBcast,
+    kMinEdge,
+    kPick,
+    kMutual,
+    kResolve,
+    kJumpReply,
+    kJumpAR,
+    kDone,
+  };
+
+  void init_vertex(MsfVertex& v) override {
+    auto& val = v.value();
+    val.comp = v.id();
+    val.parent = v.id();
+    val.live.assign(v.edges().begin(), v.edges().end());
+  }
+
+  void begin_superstep() override {
+    if (step_num() == 1) {
+      phase_ = Phase::kBcast;
+      return;
+    }
+    switch (phase_) {
+      case Phase::kBcast:
+        phase_ = Phase::kMinEdge;
+        break;
+      case Phase::kMinEdge:
+        // cand_exists_ holds the number of candidates sent last superstep;
+        // zero means no component has an external edge left.
+        phase_ = (cand_exists_.result() == 0) ? Phase::kDone : Phase::kPick;
+        break;
+      case Phase::kPick:
+        phase_ = Phase::kMutual;
+        break;
+      case Phase::kMutual:
+        phase_ = Phase::kResolve;
+        break;
+      case Phase::kResolve:
+        phase_ = Phase::kJumpReply;
+        break;
+      case Phase::kJumpReply:
+        phase_ = Phase::kJumpAR;
+        break;
+      case Phase::kJumpAR:
+        phase_ = (act_.result() == 0) ? Phase::kBcast : Phase::kJumpReply;
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+
+  void compute(MsfVertex& v) override {
+    auto& val = v.value();
+    switch (phase_) {
+      case Phase::kBcast: {
+        val.comp = val.parent;  // jumps (if any) have flattened the forest
+        for (const auto& e : val.live) {
+          nbr_.send_message(e.dst, NbrComp{v.id(), val.comp});
+        }
+        break;
+      }
+      case Phase::kMinEdge: {
+        // Learn the neighbors' components, drop internal edges, offer the
+        // lightest external edge to my root.
+        nbr_comp_.clear();
+        for (const auto& m : nbr_.get_iterator()) {
+          nbr_comp_[m.sender] = m.comp;
+        }
+        CandEdge best;
+        std::vector<graph::Edge> kept;
+        kept.reserve(val.live.size());
+        for (const auto& e : val.live) {
+          // Pruning is symmetric, so a live neighbor always broadcast;
+          // keep the edge conservatively if a duplicate-edge corner case
+          // left it unannounced.
+          const auto it = nbr_comp_.find(e.dst);
+          if (it == nbr_comp_.end()) {
+            kept.push_back(e);
+            continue;
+          }
+          const VertexId c = it->second;
+          if (c == val.comp) continue;  // became internal: prune forever
+          kept.push_back(e);
+          const CandEdge cand{e.weight, std::min(v.id(), e.dst),
+                              std::max(v.id(), e.dst), c};
+          if (cand_less(cand, best)) best = cand;
+        }
+        val.live.swap(kept);
+        if (best.w != graph::kInfWeight) {
+          cand_.send_message(val.comp, best);
+          cand_exists_.add(1);
+        }
+        break;
+      }
+      case Phase::kPick: {
+        val.parent = val.comp;
+        if (v.id() == val.comp && cand_.has_message()) {
+          // I am a root with an external edge: point at the target
+          // component and ask it where it points (mutual-pick check).
+          const CandEdge pick = cand_.get_message();
+          val.parent = pick.target;
+          ask_.send_message(pick.target, v.id());
+          pending_pick_[current_local()] = pick;
+        }
+        break;
+      }
+      case Phase::kMutual: {
+        for (const VertexId requester : ask_.get_iterator()) {
+          reply_.send_message(requester, val.parent);
+        }
+        break;
+      }
+      case Phase::kResolve: {
+        const auto it = pending_pick_.find(current_local());
+        if (it != pending_pick_.end()) {
+          const CandEdge& mine = it->second;
+          const VertexId target_parent = reply_.get_iterator()[0];
+          if (target_parent == v.id()) {
+            // Mutual pick: both roots chose the same edge (see DESIGN.md);
+            // the smaller id stays root and counts the weight.
+            if (v.id() < mine.target) {
+              val.parent = v.id();
+              val.msf_weight += mine.w;
+            }
+          } else {
+            val.msf_weight += mine.w;
+          }
+          pending_pick_.erase(it);
+        }
+        // Everyone starts pointer jumping toward the new roots.
+        val.jdone = (val.parent == v.id());
+        if (!val.jdone) {
+          ask_.send_message(val.parent, v.id());
+          act_.add(1);
+        }
+        break;
+      }
+      case Phase::kJumpReply: {
+        for (const VertexId requester : ask_.get_iterator()) {
+          reply_.send_message(requester, val.parent);
+        }
+        break;
+      }
+      case Phase::kJumpAR: {
+        if (!val.jdone && reply_.has_messages()) {
+          const VertexId grandparent = reply_.get_iterator()[0];
+          if (grandparent == val.parent) {
+            val.jdone = true;  // parent is a root
+          } else {
+            val.parent = grandparent;
+          }
+        }
+        if (!val.jdone) {
+          ask_.send_message(val.parent, v.id());
+          act_.add(1);
+        }
+        break;
+      }
+      case Phase::kDone:
+        v.vote_to_halt();
+        break;
+    }
+  }
+
+ private:
+  Phase phase_ = Phase::kBcast;
+  std::unordered_map<std::uint32_t, CandEdge> pending_pick_;
+  std::unordered_map<VertexId, VertexId> nbr_comp_;  ///< per-vertex scratch
+
+  DirectMessage<MsfVertex, NbrComp> nbr_{this, "nbrcomp"};
+  CombinedMessage<MsfVertex, CandEdge> cand_{
+      this,
+      make_combiner([](const CandEdge& x,
+                       const CandEdge& y) { return cand_less(x, y) ? x : y; },
+                    CandEdge{}),
+      "cand"};
+  DirectMessage<MsfVertex, VertexId> ask_{this, "ask"};
+  DirectMessage<MsfVertex, VertexId> reply_{this, "reply"};
+  Aggregator<MsfVertex, std::uint64_t> cand_exists_{
+      this, make_combiner(c_sum, std::uint64_t{0}), "cands"};
+  Aggregator<MsfVertex, std::uint64_t> act_{
+      this, make_combiner(c_sum, std::uint64_t{0}), "jumping"};
+};
+
+}  // namespace pregel::algo

@@ -1,0 +1,101 @@
+#pragma once
+// Pointer jumping on a parent-pointer forest: every vertex finds the root
+// of its tree by repeatedly replacing its pointer with its grandparent's
+// pointer (Section V-B2's "minimum example that uses the request-respond
+// paradigm"; the inner operation of S-V).
+//
+// Input convention: the graph is a forest where each non-root vertex has
+// exactly one out-edge to its parent; roots have no out-edge.
+//
+// PointerJumpingBasic implements the ask-the-parent conversation by hand
+// with two DirectMessage channels (two supersteps per jump, and the reply
+// phase at a high-degree root is the load-balance problem). The
+// request-respond variant merges per-worker duplicate requests and
+// answers each worker once per superstep.
+
+#include <cstdint>
+
+#include "core/pregel_channel.hpp"
+
+namespace pregel::algo {
+
+using namespace pregel::core;
+
+struct PJValue {
+  VertexId parent = 0;  ///< current pointer D[u]; == id when rooted
+  bool done = false;
+};
+
+using PJVertex = Vertex<PJValue>;
+
+/// Two-superstep ask/reply conversation per jump.
+class PointerJumpingBasic : public Worker<PJVertex> {
+ public:
+  void compute(PJVertex& v) override {
+    auto& val = v.value();
+    if (step_num() == 1) {
+      val.parent = v.edges().empty() ? v.id() : v.edges()[0].dst;
+      if (val.parent == v.id()) {
+        val.done = true;
+      } else {
+        ask_.send_message(val.parent, v.id());
+      }
+      v.vote_to_halt();
+      return;
+    }
+    // Reply to whoever asked for my pointer (even when I am still jumping
+    // myself; they get my current best).
+    for (const VertexId requester : ask_.get_iterator()) {
+      reply_.send_message(requester, val.parent);
+    }
+    // Process the answer to my own question.
+    if (!val.done && reply_.has_messages()) {
+      const VertexId grandparent = reply_.get_iterator()[0];
+      if (grandparent == val.parent) {
+        val.done = true;  // parent is a root
+      } else {
+        val.parent = grandparent;
+        ask_.send_message(val.parent, v.id());
+      }
+    }
+    v.vote_to_halt();
+  }
+
+ private:
+  DirectMessage<PJVertex, VertexId> ask_{this, "ask"};
+  DirectMessage<PJVertex, VertexId> reply_{this, "reply"};
+};
+
+/// One superstep per jump via the RequestRespond channel.
+class PointerJumpingReqResp : public Worker<PJVertex> {
+ public:
+  void compute(PJVertex& v) override {
+    auto& val = v.value();
+    if (step_num() == 1) {
+      val.parent = v.edges().empty() ? v.id() : v.edges()[0].dst;
+      if (val.parent == v.id()) {
+        val.done = true;
+      } else {
+        rr_.add_request(val.parent);
+      }
+      v.vote_to_halt();
+      return;
+    }
+    if (!val.done) {
+      const VertexId grandparent = rr_.get_respond();
+      if (grandparent == val.parent) {
+        val.done = true;
+      } else {
+        val.parent = grandparent;
+        rr_.add_request(val.parent);
+      }
+    }
+    v.vote_to_halt();
+  }
+
+ private:
+  RequestRespond<PJVertex, VertexId> rr_{
+      this, [](const PJVertex& u) { return u.value().parent; }, "jump"};
+};
+
+}  // namespace pregel::algo

@@ -1,0 +1,188 @@
+#pragma once
+// Pregel+ baseline Boruvka MSF. Same phase schedule as the channel
+// version, but all communication flows through ONE message type: the
+// 4-tuple of integers that the widest phase (edge candidates) needs —
+// exactly the Section V-A observation for MSF: "the largest message type
+// is a 4-tuple of integer values for storing an edge, but the smallest
+// one is just an int". Component broadcasts, asks and replies all pay the
+// 16-byte width, and since the kinds are mixed there is no legal global
+// combiner, so candidates converge on the roots uncombined.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "algorithms/msf.hpp"  // MsfValue / CandEdge / cand_less
+#include "pregelplus/pp_worker.hpp"
+
+namespace pregel::algo {
+
+/// The monolithic 4-int message; interpretation depends on the phase:
+///   Bcast:    {sender, comp, -, -}
+///   MinEdge:  {w, a, b, target}   (candidate edge)
+///   Pick:     {requester, -, -, -} (mutual-check ask)
+///   Mutual:   {parent, -, -, -}    (answer)
+///   Resolve/Jump*: asks and answers as above
+struct PPMsfMsg {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+  std::uint32_t t = 0;
+};
+
+class PPMsf : public plus::PPWorker<MsfVertex, PPMsfMsg> {
+ public:
+  using Phase = MsfBoruvka::Phase;
+
+  void init_vertex(MsfVertex& v) override {
+    auto& val = v.value();
+    val.comp = v.id();
+    val.parent = v.id();
+    val.live.assign(v.edges().begin(), v.edges().end());
+  }
+
+  void begin_superstep() override {
+    if (step_num() == 1) {
+      phase_ = Phase::kBcast;
+      return;
+    }
+    switch (phase_) {
+      case Phase::kBcast:
+        phase_ = Phase::kMinEdge;
+        break;
+      case Phase::kMinEdge:
+        phase_ = (agg_result(0) == 0) ? Phase::kDone : Phase::kPick;
+        break;
+      case Phase::kPick:
+        phase_ = Phase::kMutual;
+        break;
+      case Phase::kMutual:
+        phase_ = Phase::kResolve;
+        break;
+      case Phase::kResolve:
+        phase_ = Phase::kJumpReply;
+        break;
+      case Phase::kJumpReply:
+        phase_ = Phase::kJumpAR;
+        break;
+      case Phase::kJumpAR:
+        phase_ = (agg_result(1) == 0) ? Phase::kBcast : Phase::kJumpReply;
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+
+  void compute(MsfVertex& v, std::span<const PPMsfMsg> msgs) override {
+    auto& val = v.value();
+    switch (phase_) {
+      case Phase::kBcast: {
+        val.comp = val.parent;
+        for (const auto& e : val.live) {
+          send_message(e.dst, PPMsfMsg{v.id(), val.comp, 0, 0});
+        }
+        break;
+      }
+      case Phase::kMinEdge: {
+        nbr_comp_.clear();
+        for (const auto& m : msgs) nbr_comp_[m.x] = m.y;
+        CandEdge best;
+        std::vector<graph::Edge> kept;
+        kept.reserve(val.live.size());
+        for (const auto& e : val.live) {
+          const auto it = nbr_comp_.find(e.dst);
+          if (it == nbr_comp_.end()) {
+            kept.push_back(e);
+            continue;
+          }
+          if (it->second == val.comp) continue;
+          kept.push_back(e);
+          const CandEdge cand{e.weight, std::min(v.id(), e.dst),
+                              std::max(v.id(), e.dst), it->second};
+          if (cand_less(cand, best)) best = cand;
+        }
+        val.live.swap(kept);
+        if (best.w != graph::kInfWeight) {
+          // Uncombined: the root receives one candidate per member vertex.
+          send_message(val.comp, PPMsfMsg{best.w, best.a, best.b,
+                                          best.target});
+          agg_add(0, 1);
+        }
+        break;
+      }
+      case Phase::kPick: {
+        val.parent = val.comp;
+        if (v.id() == val.comp && !msgs.empty()) {
+          CandEdge best;
+          for (const auto& m : msgs) {  // fold candidates by hand
+            const CandEdge cand{m.x, m.y, m.z, m.t};
+            if (cand_less(cand, best)) best = cand;
+          }
+          val.parent = best.target;
+          send_message(best.target, PPMsfMsg{v.id(), 0, 0, 0});
+          pending_pick_[v.id()] = best;
+        }
+        break;
+      }
+      case Phase::kMutual: {
+        for (const auto& m : msgs) {
+          send_message(m.x, PPMsfMsg{val.parent, 0, 0, 0});
+        }
+        break;
+      }
+      case Phase::kResolve: {
+        const auto it = pending_pick_.find(v.id());
+        if (it != pending_pick_.end()) {
+          const CandEdge& mine = it->second;
+          const core::VertexId target_parent = msgs[0].x;
+          if (target_parent == v.id()) {
+            if (v.id() < mine.target) {
+              val.parent = v.id();
+              val.msf_weight += mine.w;
+            }
+          } else {
+            val.msf_weight += mine.w;
+          }
+          pending_pick_.erase(it);
+        }
+        val.jdone = (val.parent == v.id());
+        if (!val.jdone) {
+          send_message(val.parent, PPMsfMsg{v.id(), 0, 0, 0});
+          agg_add(1, 1);
+        }
+        break;
+      }
+      case Phase::kJumpReply: {
+        for (const auto& m : msgs) {
+          send_message(m.x, PPMsfMsg{val.parent, 0, 0, 0});
+        }
+        break;
+      }
+      case Phase::kJumpAR: {
+        if (!val.jdone && !msgs.empty()) {
+          const core::VertexId grandparent = msgs[0].x;
+          if (grandparent == val.parent) {
+            val.jdone = true;
+          } else {
+            val.parent = grandparent;
+          }
+        }
+        if (!val.jdone) {
+          send_message(val.parent, PPMsfMsg{v.id(), 0, 0, 0});
+          agg_add(1, 1);
+        }
+        break;
+      }
+      case Phase::kDone:
+        v.vote_to_halt();
+        break;
+    }
+  }
+
+ private:
+  Phase phase_ = Phase::kBcast;
+  std::unordered_map<core::VertexId, CandEdge> pending_pick_;
+  std::unordered_map<core::VertexId, core::VertexId> nbr_comp_;
+};
+
+}  // namespace pregel::algo

@@ -1,0 +1,171 @@
+#pragma once
+// Pregel+ baseline implementations of the "simple kernel" algorithms:
+// PageRank (basic + ghost mode), pointer jumping (basic + reqresp mode)
+// and WCC. These are the paper's Table IV / Table V comparators.
+
+#include <cstdint>
+
+#include "algorithms/pagerank.hpp"         // PRValue
+#include "algorithms/pointer_jumping.hpp"  // PJValue
+#include "algorithms/wcc.hpp"              // WccValue
+#include "pregelplus/pp_worker.hpp"
+
+namespace pregel::algo {
+
+// ------------------------------------------------------------- PageRank ---
+
+/// Pregel+ basic-mode PageRank: double messages, global sum combiner,
+/// the double aggregator for dead-end mass.
+class PPPageRank : public plus::PPWorker<PRVertex, double> {
+ public:
+  int iterations = 30;
+
+  PPPageRank() { set_combiner(core::make_combiner(core::c_sum, 0.0)); }
+
+  void compute(PRVertex& v, std::span<const double> msgs) override {
+    const double n = static_cast<double>(get_vnum());
+    if (step_num() == 1) {
+      v.value().rank = 1.0 / n;
+    } else {
+      double sum = 0.0;
+      for (const double m : msgs) sum += m;
+      const double s = dagg_result() / n;
+      v.value().rank = 0.15 / n + 0.85 * (sum + s);
+    }
+    if (step_num() <= iterations) {
+      const auto edges = v.edges();
+      if (!edges.empty()) {
+        const double share =
+            v.value().rank / static_cast<double>(edges.size());
+        broadcast(v, share);
+      } else {
+        dagg_add(v.value().rank);
+      }
+    } else {
+      v.vote_to_halt();
+    }
+  }
+};
+
+/// Pregel+ ghost (mirroring) mode PageRank: same program, engine switched
+/// into ghost mode with the paper's threshold of 16.
+class PPPageRankGhost : public PPPageRank {
+ public:
+  PPPageRankGhost() { enable_ghost(16); }
+};
+
+// ------------------------------------------------------- PointerJumping ---
+
+/// Pregel+ basic pointer jumping: ask/reply conversations through the one
+/// message type. A message is (tag, payload): tag 0 = "asking, payload is
+/// my id", tag 1 = "answer, payload is my parent".
+struct PPPJMsg {
+  std::uint32_t tag = 0;
+  core::VertexId payload = 0;
+};
+
+class PPPointerJumping : public plus::PPWorker<PJVertex, PPPJMsg> {
+ public:
+  void compute(PJVertex& v, std::span<const PPPJMsg> msgs) override {
+    auto& val = v.value();
+    if (step_num() == 1) {
+      val.parent = v.edges().empty() ? v.id() : v.edges()[0].dst;
+      if (val.parent == v.id()) {
+        val.done = true;
+      } else {
+        send_message(val.parent, PPPJMsg{0, v.id()});
+      }
+      v.vote_to_halt();
+      return;
+    }
+    // Answer this superstep's questions, then process my own answer.
+    core::VertexId answer = graph::kInvalidVertex;
+    for (const auto& m : msgs) {
+      if (m.tag == 0) {
+        send_message(m.payload, PPPJMsg{1, val.parent});
+      } else {
+        answer = m.payload;
+      }
+    }
+    if (!val.done && answer != graph::kInvalidVertex) {
+      if (answer == val.parent) {
+        val.done = true;
+      } else {
+        val.parent = answer;
+        send_message(val.parent, PPPJMsg{0, v.id()});
+      }
+    }
+    v.vote_to_halt();
+  }
+};
+
+/// Pregel+ reqresp-mode pointer jumping: the engine's request/response
+/// rounds replace the ask/reply messages; responses carry (id, value)
+/// pairs per Pregel+'s format. Requesters must stay active (Pregel+
+/// responses do not reactivate), so the program idles vertices by flag
+/// rather than voting to halt until they are done.
+class PPPointerJumpingReqResp
+    : public plus::PPWorker<PJVertex, PPPJMsg, core::VertexId> {
+ public:
+  PPPointerJumpingReqResp() { enable_reqresp(); }
+
+  core::VertexId respond(const PJVertex& v) const override {
+    return v.value().parent;
+  }
+
+  void compute(PJVertex& v, std::span<const PPPJMsg> /*msgs*/) override {
+    auto& val = v.value();
+    if (step_num() == 1) {
+      val.parent = v.edges().empty() ? v.id() : v.edges()[0].dst;
+      if (val.parent == v.id()) {
+        val.done = true;
+        v.vote_to_halt();
+      } else {
+        request(val.parent);
+      }
+      return;
+    }
+    if (!val.done) {
+      const core::VertexId grandparent = get_resp(val.parent);
+      if (grandparent == val.parent) {
+        val.done = true;
+        v.vote_to_halt();
+        return;
+      }
+      val.parent = grandparent;
+      request(val.parent);
+    }
+  }
+};
+
+// ------------------------------------------------------------------ WCC ---
+
+/// Pregel+ hash-min WCC (graph must be symmetrized): min combiner is
+/// globally applicable here, so the baseline gets to use it.
+class PPWcc : public plus::PPWorker<WccVertex, core::VertexId> {
+ public:
+  PPWcc() {
+    set_combiner(core::make_combiner(core::c_min, graph::kInvalidVertex));
+  }
+
+  void compute(WccVertex& v, std::span<const core::VertexId> msgs) override {
+    bool changed = false;
+    if (step_num() == 1) {
+      v.value().label = v.id();
+      changed = true;
+    } else {
+      for (const core::VertexId m : msgs) {
+        if (m < v.value().label) {
+          v.value().label = m;
+          changed = true;
+        }
+      }
+    }
+    if (changed) {
+      broadcast(v, v.value().label);
+    }
+    v.vote_to_halt();
+  }
+};
+
+}  // namespace pregel::algo

@@ -1,0 +1,160 @@
+#pragma once
+// Pregel+ baseline implementations of S-V (Table VI programs 1 and the
+// Table IV S-V row). Everything the channel version separates into four
+// channels is forced through ONE (tag, value) message type here:
+//
+//   tag 0: "asking for your pointer" (value = requester id)
+//   tag 1: "answer" (value = my D)
+//   tag 2: neighbor broadcast (value = my D)
+//   tag 3: merge proposal (value = t)
+//
+// Because the tags mean different things, no global combiner is legal —
+// neighbor broadcasts and merge proposals travel uncombined. This is
+// exactly the Section V-A analysis: "the inapplicability of combiner in
+// Pregel+ causes a 5.52x message size on Twitter".
+
+#include <cstdint>
+
+#include "algorithms/sv.hpp"  // SvValue / SvVertex
+#include "pregelplus/pp_worker.hpp"
+
+namespace pregel::algo {
+
+/// The monolithic S-V message.
+struct PPSvMsg {
+  std::uint32_t tag = 0;
+  core::VertexId value = 0;
+};
+
+/// Pregel+ basic mode: ask/reply conversations by tagged messages,
+/// three supersteps per iteration (same schedule as SvBasic).
+class PPSv : public plus::PPWorker<SvVertex, PPSvMsg> {
+ public:
+  void begin_superstep() override {
+    phase_ = (step_num() - 1) % 3;
+    if (phase_ == 0) {
+      converged_ = step_num() > 3 && agg_result(0) == 0;
+    }
+  }
+
+  void compute(SvVertex& v, std::span<const PPSvMsg> msgs) override {
+    auto& val = v.value();
+    switch (phase_) {
+      case 0: {
+        if (step_num() == 1) {
+          val.d = v.id();
+        } else {
+          // Merge proposals arrive uncombined; fold them here.
+          for (const auto& m : msgs) {
+            if (m.tag == 3 && m.value < val.d) val.d = m.value;
+          }
+          if (converged_) {
+            v.vote_to_halt();
+            return;
+          }
+        }
+        send_message(val.d, PPSvMsg{0, v.id()});
+        for (const auto& e : v.edges()) {
+          send_message(e.dst, PPSvMsg{2, val.d});
+        }
+        break;
+      }
+      case 1: {
+        val.t_min = graph::kInvalidVertex;
+        for (const auto& m : msgs) {
+          if (m.tag == 0) {
+            send_message(m.value, PPSvMsg{1, val.d});
+          } else if (m.tag == 2) {
+            val.t_min = std::min(val.t_min, m.value);
+          }
+        }
+        break;
+      }
+      case 2: {
+        core::VertexId dd = graph::kInvalidVertex;
+        for (const auto& m : msgs) {
+          if (m.tag == 1) dd = m.value;
+        }
+        if (dd == val.d) {
+          if (val.t_min < val.d) {
+            send_message(val.d, PPSvMsg{3, val.t_min});
+            agg_add(0, 1);
+          }
+        } else {
+          val.d = dd;
+          agg_add(0, 1);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  int phase_ = 0;
+  bool converged_ = false;
+};
+
+/// Pregel+ reqresp mode (Table VI program 1): the D[D[u]] lookup uses the
+/// engine's request/response rounds, two supersteps per iteration, but the
+/// neighbor broadcast and the merge proposals still travel uncombined
+/// through the monolithic message type.
+class PPSvReqResp
+    : public plus::PPWorker<SvVertex, PPSvMsg, core::VertexId> {
+ public:
+  PPSvReqResp() { enable_reqresp(); }
+
+  core::VertexId respond(const SvVertex& v) const override {
+    return v.value().d;
+  }
+
+  void begin_superstep() override {
+    phase_ = (step_num() - 1) % 2;
+    if (phase_ == 0) {
+      converged_ = step_num() > 2 && agg_result(0) == 0;
+    }
+  }
+
+  void compute(SvVertex& v, std::span<const PPSvMsg> msgs) override {
+    auto& val = v.value();
+    if (phase_ == 0) {
+      if (step_num() == 1) {
+        val.d = v.id();
+      } else {
+        for (const auto& m : msgs) {
+          if (m.tag == 3 && m.value < val.d) val.d = m.value;
+        }
+        if (converged_) {
+          v.vote_to_halt();
+          return;
+        }
+      }
+      request(val.d);
+      for (const auto& e : v.edges()) {
+        send_message(e.dst, PPSvMsg{2, val.d});
+      }
+    } else {
+      const core::VertexId dd = get_resp(val.d);
+      core::VertexId t = graph::kInvalidVertex;
+      for (const auto& m : msgs) {
+        if (m.tag == 2) t = std::min(t, m.value);
+      }
+      if (dd == val.d) {
+        if (t < val.d) {
+          send_message(val.d, PPSvMsg{3, t});
+          agg_add(0, 1);
+        }
+      } else {
+        val.d = dd;
+        agg_add(0, 1);
+      }
+    }
+  }
+
+ private:
+  int phase_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace pregel::algo

@@ -1,0 +1,37 @@
+#pragma once
+// Conveniences for launching an algorithm worker and collecting per-vertex
+// results into a global array. Used by tests, benches and examples.
+
+#include <functional>
+#include <vector>
+
+#include "core/pregel_channel.hpp"
+#include "graph/distributed.hpp"
+
+namespace pregel::algo {
+
+/// Launch WorkerT on dg, then extract one value per vertex into `out`
+/// (indexed by global vertex id). `extract` maps a vertex to its result.
+/// Collection runs concurrently across ranks; vertex ids are disjoint, so
+/// the writes are race-free.
+template <typename WorkerT, typename OutT, typename Extract>
+runtime::RunStats run_collect(
+    const graph::DistributedGraph& dg, std::vector<OutT>& out,
+    Extract extract,
+    const std::function<void(WorkerT&)>& configure = nullptr) {
+  out.assign(dg.num_vertices(), OutT{});
+  return core::launch<WorkerT>(dg, configure, [&](WorkerT& w, int /*rank*/) {
+    w.for_each_vertex(
+        [&](auto& v) { out[v.id()] = extract(v); });
+  });
+}
+
+/// Launch WorkerT and discard per-vertex results (benchmark runs).
+template <typename WorkerT>
+runtime::RunStats run_only(
+    const graph::DistributedGraph& dg,
+    const std::function<void(WorkerT&)>& configure = nullptr) {
+  return core::launch<WorkerT>(dg, configure, nullptr);
+}
+
+}  // namespace pregel::algo

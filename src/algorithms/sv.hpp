@@ -1,0 +1,214 @@
+#pragma once
+// The Shiloach-Vishkin (S-V) connected-components algorithm — the paper's
+// flagship example of *composing* optimizations (Sections III-C, V-C).
+//
+// Each iteration of the Palgol program:
+//
+//   for u in V:
+//     if (D[D[u]] == D[u])                   // u's parent is a root
+//       let t = min [ D[e] | e <- Nbr[u] ]
+//       if (t < D[u]) remote D[D[u]] <?= t   // tree merging
+//     else
+//       D[u] := D[D[u]]                      // pointer jumping
+//   until fix[D]
+//
+// maps to three communication patterns, each with its own performance
+// issue and its own optimized channel:
+//   * reading D[D[u]]        -> request-respond (load balance at roots),
+//   * min over neighbors' D  -> scatter-combine (static broadcast),
+//   * the min-update to the root -> combined message (congestion).
+//
+// Four variants cover the composition lattice of Table VI:
+//   SvBasic    — ask/reply DirectMessages + per-edge CombinedMessage
+//   SvReqResp  — RequestRespond for D[D[u]]
+//   SvScatter  — ScatterCombine for the neighbor minimum
+//   SvBoth     — both optimized channels composed
+//
+// Input convention: undirected graph (both edge directions present).
+//
+// Termination: a change counter is aggregated each iteration; jumps and
+// merge proposals both count, so "no counted activity in an iteration"
+// is exactly the fix[D] condition (a pending proposal always produces a
+// counted root update or jump in the following iteration).
+
+#include <cstdint>
+#include <type_traits>
+
+#include "core/pregel_channel.hpp"
+
+namespace pregel::algo {
+
+using namespace pregel::core;
+
+struct SvValue {
+  VertexId d = 0;                           ///< the disjoint-set pointer D[u]
+  VertexId t_min = graph::kInvalidVertex;   ///< cached neighbor min (3-phase)
+};
+
+using SvVertex = Vertex<SvValue>;
+
+namespace detail {
+inline Combiner<VertexId> min_id() {
+  return make_combiner(c_min, graph::kInvalidVertex);
+}
+inline Combiner<std::uint64_t> sum_u64() {
+  return make_combiner(c_sum, std::uint64_t{0});
+}
+}  // namespace detail
+
+/// Three supersteps per iteration: the D[D[u]] lookup is a hand-written
+/// ask/reply conversation (phase 0 ask, phase 1 reply, phase 2 use).
+/// UseScatter selects the neighbor-minimum channel.
+template <bool UseScatter>
+class SvAskReply : public Worker<SvVertex> {
+ public:
+  using NbrChannel =
+      std::conditional_t<UseScatter, ScatterCombine<SvVertex, VertexId>,
+                         CombinedMessage<SvVertex, VertexId>>;
+
+  void begin_superstep() override {
+    phase_ = (step_num() - 1) % 3;
+    if (phase_ == 0) {
+      converged_ = step_num() > 3 && agg_.result() == 0;
+    }
+  }
+
+  void compute(SvVertex& v) override {
+    auto& val = v.value();
+    switch (phase_) {
+      case 0: {  // apply merges, check fixpoint, ask + broadcast
+        if (step_num() == 1) {
+          val.d = v.id();
+          if constexpr (UseScatter) {
+            for (const auto& e : v.edges()) nbr_.add_edge(e.dst);
+          }
+        } else {
+          if (prop_.has_message()) {
+            const VertexId t = prop_.get_message();
+            if (t < val.d) val.d = t;  // tree merging lands at the root
+          }
+          if (converged_) {
+            v.vote_to_halt();
+            return;
+          }
+        }
+        ask_.send_message(val.d, v.id());
+        if constexpr (UseScatter) {
+          nbr_.set_message(val.d);
+        } else {
+          for (const auto& e : v.edges()) nbr_.send_message(e.dst, val.d);
+        }
+        break;
+      }
+      case 1: {  // answer children; cache the neighbor minimum
+        for (const VertexId requester : ask_.get_iterator()) {
+          reply_.send_message(requester, val.d);
+        }
+        val.t_min =
+            nbr_.has_message() ? nbr_.get_message() : graph::kInvalidVertex;
+        break;
+      }
+      case 2: {  // jump or propose
+        const VertexId dd = reply_.get_iterator()[0];
+        if (dd == val.d) {  // parent is a root
+          if (val.t_min < val.d) {
+            prop_.send_message(val.d, val.t_min);
+            agg_.add(1);
+          }
+        } else {
+          val.d = dd;
+          agg_.add(1);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  int phase_ = 0;
+  bool converged_ = false;
+  DirectMessage<SvVertex, VertexId> ask_{this, "ask"};
+  DirectMessage<SvVertex, VertexId> reply_{this, "reply"};
+  NbrChannel nbr_{this, detail::min_id(), "nbr"};
+  CombinedMessage<SvVertex, VertexId> prop_{this, detail::min_id(), "merge"};
+  Aggregator<SvVertex, std::uint64_t> agg_{this, detail::sum_u64(),
+                                           "changes"};
+};
+
+/// Two supersteps per iteration: the D[D[u]] lookup goes through the
+/// RequestRespond channel (request and answer complete within phase 0's
+/// communication).
+template <bool UseScatter>
+class SvRequestRespond : public Worker<SvVertex> {
+ public:
+  using NbrChannel =
+      std::conditional_t<UseScatter, ScatterCombine<SvVertex, VertexId>,
+                         CombinedMessage<SvVertex, VertexId>>;
+
+  void begin_superstep() override {
+    phase_ = (step_num() - 1) % 2;
+    if (phase_ == 0) {
+      converged_ = step_num() > 2 && agg_.result() == 0;
+    }
+  }
+
+  void compute(SvVertex& v) override {
+    auto& val = v.value();
+    if (phase_ == 0) {  // apply merges, check fixpoint, request + broadcast
+      if (step_num() == 1) {
+        val.d = v.id();
+        if constexpr (UseScatter) {
+          for (const auto& e : v.edges()) nbr_.add_edge(e.dst);
+        }
+      } else {
+        if (prop_.has_message()) {
+          const VertexId t = prop_.get_message();
+          if (t < val.d) val.d = t;
+        }
+        if (converged_) {
+          v.vote_to_halt();
+          return;
+        }
+      }
+      rr_.add_request(val.d);
+      if constexpr (UseScatter) {
+        nbr_.set_message(val.d);
+      } else {
+        for (const auto& e : v.edges()) nbr_.send_message(e.dst, val.d);
+      }
+    } else {  // jump or propose
+      const VertexId dd = rr_.get_respond();
+      const VertexId t =
+          nbr_.has_message() ? nbr_.get_message() : graph::kInvalidVertex;
+      if (dd == val.d) {
+        if (t < val.d) {
+          prop_.send_message(val.d, t);
+          agg_.add(1);
+        }
+      } else {
+        val.d = dd;
+        agg_.add(1);
+      }
+    }
+  }
+
+ private:
+  int phase_ = 0;
+  bool converged_ = false;
+  RequestRespond<SvVertex, VertexId> rr_{
+      this, [](const SvVertex& u) { return u.value().d; }, "dd"};
+  NbrChannel nbr_{this, detail::min_id(), "nbr"};
+  CombinedMessage<SvVertex, VertexId> prop_{this, detail::min_id(), "merge"};
+  Aggregator<SvVertex, std::uint64_t> agg_{this, detail::sum_u64(),
+                                           "changes"};
+};
+
+// The Table VI program lattice.
+using SvBasic = SvAskReply<false>;          // program 2
+using SvReqResp = SvRequestRespond<false>;  // program 3
+using SvScatter = SvAskReply<true>;         // program 4
+using SvBoth = SvRequestRespond<true>;      // program 5
+
+}  // namespace pregel::algo

@@ -1,0 +1,76 @@
+#pragma once
+// Channel: the paper's replacement for Pregel's monolithic message passing
+// (Fig. 3). A channel owns one communication pattern; the worker drives
+// every registered channel through rounds of
+//   serialize() -> buffer exchange -> deserialize() -> again()?
+// inside each superstep (Fig. 4). Optimizations are implemented as
+// channels, so composing optimizations = allocating several channels.
+
+#include <string>
+#include <utility>
+
+#include "graph/distributed.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/exchange.hpp"
+
+namespace pregel::core {
+
+namespace detail {
+
+/// Everything a worker rank shares with its team for one run. Created by
+/// launch(); reached by Worker's constructor through a thread-local so the
+/// user's worker subclass keeps the paper's `Channel c{this, ...}` shape.
+struct Env {
+  const graph::DistributedGraph* dg = nullptr;
+  runtime::Barrier* barrier = nullptr;
+  runtime::BufferExchange* exchange = nullptr;
+  runtime::AllReducer<std::uint64_t>* reducer = nullptr;
+  int rank = 0;
+};
+
+inline thread_local Env* t_env = nullptr;
+
+}  // namespace detail
+
+class WorkerBase;
+
+/// Base class of every channel (standard and optimized). Derived classes
+/// implement the four core functions of the paper's Fig. 3; the worker
+/// guarantees that within one communication round serialize() runs on all
+/// workers, then buffers are exchanged, then deserialize() runs, and that
+/// a channel stays in the round loop while *any* worker's again() is true.
+///
+/// Wire contract: when a channel participates in a round it must write one
+/// self-describing payload (possibly empty) to *every* peer outbox and
+/// read one payload from *every* peer inbox — channels are serialized in
+/// registration order, which is identical on every worker, so payloads
+/// align without worker-level framing.
+class Channel {
+ public:
+  Channel(WorkerBase* worker, std::string name);
+  virtual ~Channel() = default;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Called once before superstep 1.
+  virtual void initialize() {}
+  /// Write staged data into the worker's outboxes.
+  virtual void serialize() = 0;
+  /// Read received data from the worker's inboxes.
+  virtual void deserialize() = 0;
+  /// Return true to request another communication round this superstep.
+  virtual bool again() { return false; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ protected:
+  WorkerBase& w() const noexcept { return *worker_; }
+
+ private:
+  WorkerBase* worker_;
+  std::string name_;
+};
+
+}  // namespace pregel::core

@@ -1,0 +1,115 @@
+#pragma once
+// CombinedMessage: message passing with a per-channel combiner (Table I).
+//
+// This is the channel that removes Pregel's "one global combiner per
+// program" restriction (Section II-B): each CombinedMessage instance owns
+// its combiner, so a multi-phase algorithm can combine one message kind
+// while another kind flows uncombined through a different channel.
+//
+// Combining happens on both sides: the sender merges values for the same
+// destination vertex in a hash table before serializing (this hash lookup
+// is exactly the computational cost the scatter-combine channel later
+// eliminates for static patterns), and the receiver merges batches from
+// different workers.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/types.hpp"
+#include "core/worker.hpp"
+
+namespace pregel::core {
+
+template <typename VertexT, typename ValT>
+  requires runtime::TriviallySerializable<ValT>
+class CombinedMessage : public Channel {
+ public:
+  CombinedMessage(Worker<VertexT>* w, Combiner<ValT> combiner,
+                  std::string name = "combined")
+      : Channel(w, std::move(name)),
+        worker_(w),
+        combiner_(std::move(combiner)),
+        slot_(w->num_local(), combiner_.identity),
+        has_(w->num_local(), 0),
+        batch_(static_cast<std::size_t>(w->num_workers())) {}
+
+  /// Send m to dst; values for the same destination are combined.
+  void send_message(KeyT dst, const ValT& m) {
+    auto [it, inserted] = staged_.try_emplace(dst, m);
+    if (!inserted) it->second = combiner_(it->second, m);
+  }
+
+  /// Combined value delivered to the current vertex (combiner identity if
+  /// nothing arrived; check has_message() to distinguish).
+  [[nodiscard]] const ValT& get_message() const {
+    return slot_[w().current_local()];
+  }
+
+  [[nodiscard]] bool has_message() const {
+    return has_[w().current_local()] != 0;
+  }
+
+  void serialize() override {
+    // Reset the slots the previous superstep filled (already read).
+    for (const std::uint32_t lidx : touched_) {
+      slot_[lidx] = combiner_.identity;
+      has_[lidx] = 0;
+    }
+    touched_.clear();
+
+    const int num_workers = w().num_workers();
+    // Bucket the combined map by destination worker (buffers are reused
+    // across supersteps to avoid reallocation).
+    for (const auto& [dst, val] : staged_) {
+      batch_[static_cast<std::size_t>(w().owner_of(dst))].push_back(
+          Wire{w().local_of(dst), val});
+    }
+    staged_.clear();
+    for (int to = 0; to < num_workers; ++to) {
+      runtime::Buffer& out = w().outbox(to);
+      auto& b = batch_[static_cast<std::size_t>(to)];
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(b.size()));
+      if (!b.empty()) out.write_bytes(b.data(), b.size() * sizeof(Wire));
+      b.clear();
+    }
+  }
+
+  void deserialize() override {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto n = in.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto wire = in.read<Wire>();
+        if (has_[wire.lidx]) {
+          slot_[wire.lidx] = combiner_(slot_[wire.lidx], wire.value);
+        } else {
+          slot_[wire.lidx] = wire.value;
+          has_[wire.lidx] = 1;
+          touched_.push_back(wire.lidx);
+        }
+        worker_->activate_local(wire.lidx);
+      }
+    }
+  }
+
+ private:
+  struct Wire {
+    std::uint32_t lidx;
+    ValT value;
+  };
+
+  Worker<VertexT>* worker_;
+  Combiner<ValT> combiner_;
+  std::unordered_map<KeyT, ValT> staged_;  ///< sender-side combining
+  std::vector<ValT> slot_;                 ///< receiver-side combined value
+  std::vector<std::uint8_t> has_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::vector<Wire>> batch_;   ///< per-worker staging, reused
+};
+
+}  // namespace pregel::core

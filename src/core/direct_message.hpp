@@ -1,0 +1,88 @@
+#pragma once
+// DirectMessage: the plain point-to-point message channel (Table I).
+// Equivalent to Pregel's raw message passing: any vertex can send a value
+// to any known vertex; the receiver iterates the values that arrived in
+// the previous superstep.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/types.hpp"
+#include "core/worker.hpp"
+
+namespace pregel::core {
+
+template <typename VertexT, typename ValT>
+  requires runtime::TriviallySerializable<ValT>
+class DirectMessage : public Channel {
+ public:
+  explicit DirectMessage(Worker<VertexT>* w, std::string name = "direct")
+      : Channel(w, std::move(name)),
+        worker_(w),
+        staged_(static_cast<std::size_t>(w->num_workers())),
+        incoming_(w->num_local()) {}
+
+  /// Queue a message for vertex `dst`, delivered next superstep.
+  void send_message(KeyT dst, const ValT& m) {
+    staged_[static_cast<std::size_t>(w().owner_of(dst))].push_back(
+        Wire{w().local_of(dst), m});
+  }
+
+  /// Messages delivered to the vertex currently being computed.
+  [[nodiscard]] std::span<const ValT> get_iterator() const {
+    return incoming_[w().current_local()];
+  }
+
+  [[nodiscard]] bool has_messages() const {
+    return !incoming_[w().current_local()].empty();
+  }
+
+  void serialize() override {
+    // Drop the messages the previous superstep delivered (they have been
+    // read during this superstep's compute phase).
+    for (const std::uint32_t lidx : touched_) incoming_[lidx].clear();
+    touched_.clear();
+
+    const int num_workers = w().num_workers();
+    for (int to = 0; to < num_workers; ++to) {
+      auto& batch = staged_[static_cast<std::size_t>(to)];
+      runtime::Buffer& out = w().outbox(to);
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(batch.size()));
+      if (!batch.empty()) {
+        out.write_bytes(batch.data(), batch.size() * sizeof(Wire));
+        batch.clear();
+      }
+    }
+  }
+
+  void deserialize() override {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto n = in.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto wire = in.read<Wire>();
+        if (incoming_[wire.lidx].empty()) touched_.push_back(wire.lidx);
+        incoming_[wire.lidx].push_back(wire.value);
+        worker_->activate_local(wire.lidx);
+      }
+    }
+  }
+
+ private:
+  struct Wire {
+    std::uint32_t lidx;  ///< receiver's local index (ids are 32-bit too)
+    ValT value;
+  };
+
+  Worker<VertexT>* worker_;
+  std::vector<std::vector<Wire>> staged_;     ///< per destination worker
+  std::vector<std::vector<ValT>> incoming_;   ///< per local vertex
+  std::vector<std::uint32_t> touched_;        ///< lidxs to clear lazily
+};
+
+}  // namespace pregel::core

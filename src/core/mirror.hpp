@@ -1,0 +1,201 @@
+#pragma once
+// MirrorScatter: sender-centric message combining (the mirroring / ghost
+// / vertex-replication technique of [2], [3], [13], [19], [29]) packaged
+// as a channel — the library-extension route the paper's Section IV opens
+// ("the channel is designed for allowing experts to implement new
+// optimizations with ease").
+//
+// Pattern: the same static broadcast as ScatterCombine, but deduplicated
+// on the *sender* axis: each vertex sends ONE value per worker that hosts
+// at least one of its neighbors; a mirror table installed by a one-time
+// handshake lets the receiver scatter that value to the local neighbors
+// and fold it into the per-target slots.
+//
+// Two differences from Pregel+'s ghost mode (both follow from the channel
+// owning its pattern): no degree threshold is needed (every vertex is
+// mirrored — the handshake already paid for the tables), and steady-state
+// rounds ship bare values in the agreed source order, so the receiver
+// scatters by position instead of hashing sender ids (the hash lookup is
+// exactly the ghost-mode cost the paper's V-B1 analysis calls out).
+//
+// Trade-off vs ScatterCombine: wire volume is one value per (source,
+// worker) instead of one per (worker, unique target); mirroring wins when
+// out-degrees are high and fan out to few workers (hub-heavy graphs),
+// scatter-combine wins when in-degrees concentrate (fan-in). Both beat
+// per-edge messaging; bench/micro_channels compares them head to head.
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/types.hpp"
+#include "core/worker.hpp"
+
+namespace pregel::core {
+
+template <typename VertexT, typename ValT>
+  requires runtime::TriviallySerializable<ValT>
+class MirrorScatter : public Channel {
+ public:
+  MirrorScatter(Worker<VertexT>* w, Combiner<ValT> combiner,
+                std::string name = "mirror")
+      : Channel(w, std::move(name)),
+        worker_(w),
+        combiner_(std::move(combiner)),
+        vals_(w->num_local(), combiner_.identity),
+        slot_(w->num_local(), combiner_.identity),
+        has_(w->num_local(), 0),
+        adj_(w->num_local()),
+        senders_(static_cast<std::size_t>(w->num_workers())),
+        mirrors_(static_cast<std::size_t>(w->num_workers())),
+        handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0) {}
+
+  /// Register an outgoing edge of the current vertex (static pattern:
+  /// all edges before the first set_message is delivered).
+  void add_edge(KeyT dst) {
+    if (finalized_) {
+      throw std::logic_error(
+          "MirrorScatter: add_edge after the edge set was finalized");
+    }
+    adj_[w().current_local()].push_back(dst);
+  }
+
+  /// Value the current vertex broadcasts to all its neighbors this
+  /// superstep.
+  void set_message(const ValT& m) {
+    vals_[w().current_local()] = m;
+    dirty_ = true;
+  }
+
+  [[nodiscard]] const ValT& get_message() const {
+    return slot_[w().current_local()];
+  }
+  [[nodiscard]] bool has_message() const {
+    return has_[w().current_local()] != 0;
+  }
+
+  void serialize() override {
+    for (const std::uint32_t lidx : touched_) {
+      slot_[lidx] = combiner_.identity;
+      has_[lidx] = 0;
+    }
+    touched_.clear();
+
+    const int num_workers = w().num_workers();
+    if (!dirty_) {
+      for (int to = 0; to < num_workers; ++to) {
+        w().outbox(to).write<std::uint8_t>(kTagIdle);
+      }
+      return;
+    }
+    dirty_ = false;
+    if (!finalized_) finalize();
+
+    for (int to = 0; to < num_workers; ++to) {
+      runtime::Buffer& out = w().outbox(to);
+      auto& to_peer = senders_[static_cast<std::size_t>(to)];
+      const bool first = handshake_sent_[static_cast<std::size_t>(to)] == 0;
+      out.write<std::uint8_t>(first ? kTagHandshake : kTagValues);
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(to_peer.size()));
+      if (first) {
+        // Install the mirror tables: per sending vertex, the neighbor
+        // list it owns on that worker (positional from now on).
+        for (const auto& s : to_peer) {
+          out.write_vector(s.targets);
+        }
+        handshake_sent_[static_cast<std::size_t>(to)] = 1;
+      }
+      for (const auto& s : to_peer) {
+        out.write<ValT>(vals_[s.src]);
+      }
+    }
+  }
+
+  void deserialize() override {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto tag = in.read<std::uint8_t>();
+      if (tag == kTagIdle) continue;
+      const auto n = in.read<std::uint32_t>();
+      auto& table = mirrors_[static_cast<std::size_t>(from)];
+      if (tag == kTagHandshake) {
+        table.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          table[i] = in.read_vector<std::uint32_t>();
+        }
+      }
+      // Bare values in the agreed source order: scatter positionally.
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto val = in.read<ValT>();
+        for (const std::uint32_t lidx : table[i]) {
+          if (has_[lidx]) {
+            slot_[lidx] = combiner_(slot_[lidx], val);
+          } else {
+            slot_[lidx] = val;
+            has_[lidx] = 1;
+            touched_.push_back(lidx);
+          }
+          worker_->activate_local(lidx);
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kTagIdle = 0;
+  static constexpr std::uint8_t kTagHandshake = 1;
+  static constexpr std::uint8_t kTagValues = 2;
+
+  /// One sending vertex's mirror on one worker.
+  struct Sender {
+    std::uint32_t src;                   ///< local index of the sender
+    std::vector<std::uint32_t> targets;  ///< receiver local indices
+  };
+
+  void finalize() {
+    const auto num_workers = static_cast<std::size_t>(w().num_workers());
+    for (std::uint32_t src = 0;
+         src < static_cast<std::uint32_t>(adj_.size()); ++src) {
+      if (adj_[src].empty()) continue;
+      // Bucket this vertex's neighbors by owner.
+      std::vector<std::vector<std::uint32_t>> buckets(num_workers);
+      for (const KeyT dst : adj_[src]) {
+        buckets[static_cast<std::size_t>(w().owner_of(dst))].push_back(
+            w().local_of(dst));
+      }
+      for (std::size_t peer = 0; peer < num_workers; ++peer) {
+        if (!buckets[peer].empty()) {
+          senders_[peer].push_back(Sender{src, std::move(buckets[peer])});
+        }
+      }
+      adj_[src].clear();
+      adj_[src].shrink_to_fit();  // the channel-side copy is now obsolete
+    }
+    finalized_ = true;
+  }
+
+  Worker<VertexT>* worker_;
+  Combiner<ValT> combiner_;
+
+  // Sender side.
+  std::vector<ValT> vals_;
+  std::vector<std::vector<KeyT>> adj_;   ///< pre-finalize staging
+  std::vector<std::vector<Sender>> senders_;  ///< per peer, fixed order
+  bool dirty_ = false;
+  bool finalized_ = false;
+
+  // Receiver side.
+  std::vector<ValT> slot_;
+  std::vector<std::uint8_t> has_;
+  std::vector<std::uint32_t> touched_;
+  /// Per sending worker: target lists aligned with its sender order.
+  std::vector<std::vector<std::vector<std::uint32_t>>> mirrors_;
+  std::vector<std::uint8_t> handshake_sent_;
+};
+
+}  // namespace pregel::core

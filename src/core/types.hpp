@@ -1,0 +1,47 @@
+#pragma once
+// Shared value-level vocabulary of the channel engine: vertex ids and
+// combiners. `make_combiner(c_sum, 0.0)` is the exact construction the
+// paper's Fig. 1 uses.
+
+#include <functional>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace pregel::core {
+
+using graph::VertexId;
+using KeyT = VertexId;  // the paper's name for vertex identifiers in APIs
+
+/// An associative, commutative binary function with an identity element.
+/// Channels use combiners to merge message values for the same receiver
+/// (sender side and receiver side), aggregators use them to fold global
+/// contributions.
+template <typename T>
+struct Combiner {
+  std::function<T(const T&, const T&)> fn;
+  T identity{};
+
+  T operator()(const T& a, const T& b) const { return fn(a, b); }
+};
+
+template <typename T, typename Fn>
+Combiner<T> make_combiner(Fn&& f, T identity) {
+  return Combiner<T>{std::forward<Fn>(f), std::move(identity)};
+}
+
+// The stock combining functions the paper's examples use.
+inline constexpr auto c_sum = [](const auto& a, const auto& b) {
+  return a + b;
+};
+inline constexpr auto c_min = [](const auto& a, const auto& b) {
+  return a < b ? a : b;
+};
+inline constexpr auto c_max = [](const auto& a, const auto& b) {
+  return a < b ? b : a;
+};
+inline constexpr auto c_or = [](const auto& a, const auto& b) {
+  return a || b;
+};
+
+}  // namespace pregel::core

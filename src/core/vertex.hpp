@@ -1,0 +1,68 @@
+#pragma once
+// Vertex<ValueT>: the per-vertex record handed to compute(). Carries the
+// user's value type, the vertex's global id, its (read-only) adjacency
+// slice, and the Pregel voting-to-halt flag.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "runtime/buffer.hpp"
+
+namespace pregel::plus {
+template <typename VertexT, typename MsgT, typename RespT>
+  requires runtime::TriviallySerializable<MsgT> &&
+           runtime::TriviallySerializable<RespT>
+class PPWorker;
+}  // namespace pregel::plus
+
+namespace pregel::blogel {
+template <typename VertexT, typename MsgT>
+  requires runtime::TriviallySerializable<MsgT>
+class BlockWorker;
+}  // namespace pregel::blogel
+
+namespace pregel::core {
+
+template <typename ValueT>
+class Vertex {
+ public:
+  using value_type = ValueT;
+
+  [[nodiscard]] VertexId id() const noexcept { return id_; }
+
+  ValueT& value() noexcept { return value_; }
+  const ValueT& value() const noexcept { return value_; }
+
+  /// Outgoing adjacency (owned by the DistributedGraph slice).
+  [[nodiscard]] std::span<const graph::Edge> edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::uint32_t out_degree() const noexcept {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+
+  /// Pregel halting: an inactive vertex is skipped by compute() until a
+  /// channel re-activates it (message arrival).
+  void vote_to_halt() noexcept { active_ = false; }
+  void activate() noexcept { active_ = true; }
+  [[nodiscard]] bool is_active() const noexcept { return active_; }
+
+ private:
+  template <typename>
+  friend class Worker;
+  template <typename VT, typename MsgT, typename RespT>
+    requires runtime::TriviallySerializable<MsgT> &&
+             runtime::TriviallySerializable<RespT>
+  friend class pregel::plus::PPWorker;
+  template <typename VT, typename MsgT>
+    requires runtime::TriviallySerializable<MsgT>
+  friend class pregel::blogel::BlockWorker;
+
+  VertexId id_ = 0;
+  bool active_ = true;
+  std::span<const graph::Edge> edges_;
+  ValueT value_{};
+};
+
+}  // namespace pregel::core

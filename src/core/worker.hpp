@@ -1,0 +1,303 @@
+#pragma once
+// Worker<VertexT>: the channel-based vertex-centric engine (paper Fig. 4).
+//
+// One Worker instance runs per rank. The user subclasses Worker, declares
+// channels as members (constructed with `this`), and implements
+// compute(VertexT&). launch<W>() spawns the team, builds each rank's
+// vertex slice, and drives the superstep loop:
+//
+//   while any vertex is active (globally):
+//     compute() on every locally active vertex
+//     while any channel is active (globally):
+//       serialize all active channels -> exchange buffers -> deserialize
+//
+// Divergences from the paper's listing, both engine-internal:
+//  * channel activity is agreed on globally each round (a worker whose
+//    channel went quiet must still deserialize data peers sent it);
+//  * Worker construction happens inside launch(), which provides the
+//    runtime Env through a thread-local so user code keeps the paper's
+//    default-constructor shape.
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/types.hpp"
+#include "core/vertex.hpp"
+#include "graph/distributed.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/team.hpp"
+
+namespace pregel::core {
+
+/// Non-template part of the engine: rank bookkeeping, channel registry,
+/// buffer access, id mapping. Channels talk to this interface.
+class WorkerBase {
+ public:
+  WorkerBase() {
+    if (detail::t_env == nullptr) {
+      throw std::logic_error(
+          "Worker must be constructed inside pregel::core::launch()");
+    }
+    env_ = *detail::t_env;
+  }
+  virtual ~WorkerBase() = default;
+
+  WorkerBase(const WorkerBase&) = delete;
+  WorkerBase& operator=(const WorkerBase&) = delete;
+
+  // ---- identity ---------------------------------------------------------
+  [[nodiscard]] int rank() const noexcept { return env_.rank; }
+  [[nodiscard]] int num_workers() const noexcept {
+    return env_.dg->num_workers();
+  }
+  /// 1-based superstep number, as in Pregel.
+  [[nodiscard]] int step_num() const noexcept { return step_; }
+  [[nodiscard]] std::uint64_t get_vnum() const noexcept {
+    return env_.dg->num_vertices();
+  }
+  [[nodiscard]] std::uint64_t get_enum() const noexcept {
+    return env_.dg->num_edges();
+  }
+
+  // ---- graph mapping ----------------------------------------------------
+  [[nodiscard]] const graph::DistributedGraph& dgraph() const noexcept {
+    return *env_.dg;
+  }
+  [[nodiscard]] int owner_of(VertexId v) const { return env_.dg->owner(v); }
+  [[nodiscard]] std::uint32_t local_of(VertexId v) const {
+    return env_.dg->local_index(v);
+  }
+  [[nodiscard]] VertexId global_id(std::uint32_t lidx) const {
+    return env_.dg->global_id(env_.rank, lidx);
+  }
+  [[nodiscard]] std::uint32_t num_local() const {
+    return env_.dg->num_local(env_.rank);
+  }
+
+  // ---- channel plumbing --------------------------------------------------
+  runtime::Buffer& outbox(int to) {
+    return env_.exchange->outbox(env_.rank, to);
+  }
+  runtime::Buffer& inbox(int from) {
+    return env_.exchange->inbox(env_.rank, from);
+  }
+
+  void add_channel(Channel* c) {
+    if (channels_.size() >= 64) {
+      throw std::logic_error("at most 64 channels per worker");
+    }
+    channels_.push_back(c);
+  }
+
+  /// Local index of the vertex currently being computed; per-vertex channel
+  /// APIs (set_message, add_request, get_value, ...) use it implicitly —
+  /// this is what lets the paper's APIs omit the source vertex argument.
+  [[nodiscard]] std::uint32_t current_local() const noexcept {
+    return current_lidx_;
+  }
+
+  /// Re-activate a local vertex (message arrival). Channels call this from
+  /// deserialize(); it is how voting-to-halt is simulated (Section IV-B).
+  virtual void activate_local(std::uint32_t lidx) = 0;
+
+  [[nodiscard]] const runtime::RunStats& stats() const noexcept {
+    return stats_;
+  }
+
+ protected:
+  detail::Env env_;
+  std::vector<Channel*> channels_;
+  int step_ = 0;
+  std::uint32_t current_lidx_ = 0;
+  runtime::RunStats stats_;
+};
+
+inline Channel::Channel(WorkerBase* worker, std::string name)
+    : worker_(worker), name_(std::move(name)) {
+  worker_->add_channel(this);
+}
+
+/// The engine proper. VertexT must be core::Vertex<SomeValue>.
+template <typename VertexT>
+class Worker : public WorkerBase {
+ public:
+  using ValueT = typename VertexT::value_type;
+
+  /// The algorithm kernel, executed once per active vertex per superstep.
+  virtual void compute(VertexT& v) = 0;
+
+  /// Optional per-vertex initialization at load time (before superstep 1).
+  virtual void init_vertex(VertexT& /*v*/) {}
+
+  /// Optional per-superstep hook, run before any compute() of the
+  /// superstep. Multi-phase algorithms advance their phase machines here;
+  /// decisions must be based on globally consistent state (step_num(),
+  /// aggregator results) so every rank transitions identically.
+  virtual void begin_superstep() {}
+
+  [[nodiscard]] VertexT& local_vertex(std::uint32_t lidx) {
+    return vertices_[lidx];
+  }
+  [[nodiscard]] const VertexT& local_vertex(std::uint32_t lidx) const {
+    return vertices_[lidx];
+  }
+
+  void activate_local(std::uint32_t lidx) override {
+    vertices_[lidx].activate();
+  }
+
+  /// Iterate all local vertices (used by result collectors).
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) {
+    for (auto& v : vertices_) fn(v);
+  }
+
+  /// Drive the superstep loop to global quiescence. Collective: every rank
+  /// of the team calls run() on its own Worker instance.
+  runtime::RunStats run() {
+    load_vertices();
+    for (Channel* c : channels_) c->initialize();
+    env_.barrier->arrive_and_wait();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    step_ = 0;
+    while (true) {
+      ++step_;
+      begin_superstep();
+      compute_phase();
+      communicate();
+      const bool any_local_active = any_active_vertex();
+      const bool any_global_active =
+          env_.reducer->any(env_.rank, any_local_active);
+      if (!any_global_active) break;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    stats_.seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats_.supersteps = step_;
+    stats_.message_bytes = env_.exchange->total_bytes();
+    stats_.message_batches = env_.exchange->total_batches();
+    return stats_;
+  }
+
+ private:
+  void load_vertices() {
+    const std::uint32_t n = num_local();
+    vertices_.resize(n);
+    for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+      VertexT& v = vertices_[lidx];
+      v.id_ = global_id(lidx);
+      v.edges_ = env_.dg->out(env_.rank, lidx);
+      v.active_ = true;
+      current_lidx_ = lidx;
+      init_vertex(v);
+    }
+  }
+
+  void compute_phase() {
+    const std::uint32_t n = static_cast<std::uint32_t>(vertices_.size());
+    for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+      if (!vertices_[lidx].is_active()) continue;
+      current_lidx_ = lidx;
+      compute(vertices_[lidx]);
+    }
+  }
+
+  [[nodiscard]] bool any_active_vertex() const {
+    for (const auto& v : vertices_) {
+      if (v.is_active()) return true;
+    }
+    return false;
+  }
+
+  /// The communication loop of Fig. 4: all channels start the superstep
+  /// active; a channel remains in the loop while any worker's again() says
+  /// so. Every round ends with one collective buffer exchange.
+  void communicate() {
+    std::uint64_t local_mask = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      local_mask |= (std::uint64_t{1} << i);
+    }
+    while (true) {
+      const std::uint64_t mask = env_.reducer->reduce(
+          env_.rank, local_mask,
+          [](std::uint64_t a, std::uint64_t b) { return a | b; },
+          std::uint64_t{0});
+      if (mask == 0) break;
+
+      for (std::size_t i = 0; i < channels_.size(); ++i) {
+        if ((mask >> i) & 1u) {
+          const std::uint64_t before = env_.exchange->outbox_bytes(env_.rank);
+          channels_[i]->serialize();
+          const std::uint64_t after = env_.exchange->outbox_bytes(env_.rank);
+          stats_.bytes_by_channel[channels_[i]->name()] += after - before;
+        }
+      }
+      env_.exchange->exchange(env_.rank);
+      ++stats_.comm_rounds;
+
+      local_mask = 0;
+      for (std::size_t i = 0; i < channels_.size(); ++i) {
+        if ((mask >> i) & 1u) {
+          channels_[i]->deserialize();
+          if (channels_[i]->again()) local_mask |= (std::uint64_t{1} << i);
+        }
+      }
+    }
+  }
+
+  std::vector<VertexT> vertices_;
+};
+
+// ---------------------------------------------------------------------------
+// launch(): build the runtime, spawn the team, run the algorithm.
+// ---------------------------------------------------------------------------
+
+/// Run WorkerT over a distributed graph. `configure` (optional) is invoked
+/// on each rank's worker before the superstep loop (set sources, iteration
+/// caps, ...). `collect` (optional) is invoked on each rank's worker after
+/// the run; it executes concurrently across ranks, so it must only write
+/// rank-disjoint locations (e.g. index a global array by vertex id).
+/// Returns merged statistics: max wall time across ranks, global byte
+/// counts, per-channel bytes summed over ranks.
+template <typename WorkerT>
+runtime::RunStats launch(
+    const graph::DistributedGraph& dg,
+    const std::function<void(WorkerT&)>& configure = nullptr,
+    const std::function<void(WorkerT&, int)>& collect = nullptr) {
+  const int num_workers = dg.num_workers();
+  runtime::Barrier barrier(num_workers);
+  runtime::BufferExchange exchange(num_workers, barrier);
+  runtime::AllReducer<std::uint64_t> reducer(num_workers, barrier);
+
+  std::vector<runtime::RunStats> per_rank(
+      static_cast<std::size_t>(num_workers));
+  runtime::WorkerTeam::run(num_workers, [&](int rank) {
+    detail::Env env{&dg, &barrier, &exchange, &reducer, rank};
+    detail::t_env = &env;
+    WorkerT worker;
+    detail::t_env = nullptr;
+    if (configure) configure(worker);
+    per_rank[static_cast<std::size_t>(rank)] = worker.run();
+    if (collect) collect(worker, rank);
+  });
+
+  runtime::RunStats merged = per_rank[0];
+  for (int r = 1; r < num_workers; ++r) {
+    const auto& s = per_rank[static_cast<std::size_t>(r)];
+    merged.seconds = std::max(merged.seconds, s.seconds);
+    for (const auto& [name, bytes] : s.bytes_by_channel) {
+      merged.bytes_by_channel[name] += bytes;
+    }
+  }
+  return merged;
+}
+
+}  // namespace pregel::core

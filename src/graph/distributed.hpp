@@ -1,0 +1,88 @@
+#pragma once
+// DistributedGraph: the per-worker slices every engine run starts from.
+//
+// Construction copies each vertex's adjacency into its owner's slice, so
+// after load time workers touch only their own slice — the same contract
+// as the paper's workers, which each hold "a disjoint portion of the graph
+// (a subset of vertices along with their states and adjacent lists)".
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pregel::graph {
+
+class DistributedGraph {
+ public:
+  DistributedGraph(const Graph& g, Partition partition)
+      : partition_(std::move(partition)),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()) {
+    if (partition_.owner.size() != g.num_vertices()) {
+      throw std::invalid_argument(
+          "DistributedGraph: partition size != graph size");
+    }
+    slices_.resize(static_cast<std::size_t>(partition_.num_workers));
+    for (int rank = 0; rank < partition_.num_workers; ++rank) {
+      auto& slice = slices_[static_cast<std::size_t>(rank)];
+      const auto& ids = partition_.members[static_cast<std::size_t>(rank)];
+      slice.out.reserve(ids.size());
+      for (VertexId v : ids) {
+        auto span = g.out(v);
+        slice.out.emplace_back(span.begin(), span.end());
+      }
+    }
+  }
+
+  [[nodiscard]] int num_workers() const noexcept {
+    return partition_.num_workers;
+  }
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] const Partition& partition() const noexcept {
+    return partition_;
+  }
+
+  [[nodiscard]] int owner(VertexId v) const { return partition_.owner[v]; }
+  [[nodiscard]] std::uint32_t local_index(VertexId v) const {
+    return partition_.local_of[v];
+  }
+  [[nodiscard]] std::uint32_t num_local(int rank) const {
+    return static_cast<std::uint32_t>(
+        partition_.members[static_cast<std::size_t>(rank)].size());
+  }
+  [[nodiscard]] VertexId global_id(int rank, std::uint32_t lidx) const {
+    return partition_.members[static_cast<std::size_t>(rank)][lidx];
+  }
+  [[nodiscard]] const std::vector<VertexId>& ids(int rank) const {
+    return partition_.members[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::span<const Edge> out(int rank, std::uint32_t lidx) const {
+    return slices_[static_cast<std::size_t>(rank)].out[lidx];
+  }
+
+  /// Block id of a vertex (kNoBlock when the partitioner was not
+  /// block-aware); used by the Blogel baseline.
+  [[nodiscard]] std::uint32_t block_of(VertexId v) const {
+    return partition_.block_of.empty() ? kNoBlock : partition_.block_of[v];
+  }
+
+ private:
+  struct Slice {
+    std::vector<std::vector<Edge>> out;  ///< local idx -> adjacency copy
+  };
+
+  Partition partition_;
+  VertexId num_vertices_;
+  std::uint64_t num_edges_;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace pregel::graph

@@ -1,0 +1,48 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pregel::graph {
+
+Graph Graph::symmetrized() const {
+  Graph g(num_vertices());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Edge& e : adj_[u]) {
+      g.add_edge(u, e.dst, e.weight);
+      g.add_edge(e.dst, u, e.weight);
+    }
+  }
+  g.simplify();
+  return g;
+}
+
+void Graph::simplify() {
+  std::uint64_t edges = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    auto& list = adj_[u];
+    std::sort(list.begin(), list.end(), [](const Edge& a, const Edge& b) {
+      return a.dst != b.dst ? a.dst < b.dst : a.weight < b.weight;
+    });
+    std::vector<Edge> kept;
+    kept.reserve(list.size());
+    for (const Edge& e : list) {
+      if (e.dst == u) continue;  // self loop
+      if (!kept.empty() && kept.back().dst == e.dst) continue;  // duplicate
+      kept.push_back(e);
+    }
+    list = std::move(kept);
+    edges += list.size();
+  }
+  num_edges_ = edges;
+}
+
+void Graph::sort_adjacency() {
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end(), [](const Edge& a, const Edge& b) {
+      return a.dst != b.dst ? a.dst < b.dst : a.weight < b.weight;
+    });
+  }
+}
+
+}  // namespace pregel::graph

@@ -1,0 +1,103 @@
+#pragma once
+// Graph: the in-memory global graph every engine run is launched from.
+//
+// Kept deliberately simple (adjacency vectors, optional integer weights):
+// the distributed engines never touch this object after load time — each
+// worker receives only its own slice (see graph/distributed.hpp), mirroring
+// the paper's workers which load disjoint portions from HDFS.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pregel::graph {
+
+using VertexId = std::uint32_t;
+using Weight = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::max();
+
+/// One outgoing edge: destination plus (optional, default 1) weight.
+struct Edge {
+  VertexId dst = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Directed multigraph with per-edge integer weights.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(VertexId num_vertices)
+      : adj_(static_cast<std::size_t>(num_vertices)) {}
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(adj_.size());
+  }
+
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+  void add_vertex() { adj_.emplace_back(); }
+
+  void add_edge(VertexId u, VertexId v, Weight w = 1) {
+    check_vertex(u);
+    check_vertex(v);
+    adj_[u].push_back(Edge{v, w});
+    ++num_edges_;
+  }
+
+  /// Adds both (u,v) and (v,u).
+  void add_undirected_edge(VertexId u, VertexId v, Weight w = 1) {
+    add_edge(u, v, w);
+    add_edge(v, u, w);
+  }
+
+  [[nodiscard]] std::span<const Edge> out(VertexId u) const {
+    check_vertex(u);
+    return adj_[u];
+  }
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId u) const {
+    check_vertex(u);
+    return static_cast<std::uint32_t>(adj_[u].size());
+  }
+
+  [[nodiscard]] double avg_degree() const noexcept {
+    return adj_.empty() ? 0.0
+                        : static_cast<double>(num_edges_) /
+                              static_cast<double>(adj_.size());
+  }
+
+  /// Graph with every edge direction flipped (weights preserved).
+  [[nodiscard]] Graph reversed() const {
+    Graph g(num_vertices());
+    for (VertexId u = 0; u < num_vertices(); ++u) {
+      for (const Edge& e : adj_[u]) g.add_edge(e.dst, u, e.weight);
+    }
+    return g;
+  }
+
+  /// Graph with every edge present in both directions (deduplicated).
+  [[nodiscard]] Graph symmetrized() const;
+
+  /// Removes duplicate (dst, weight-min) edges and self loops in place.
+  void simplify();
+
+  /// Sorts each adjacency list by destination (then weight).
+  void sort_adjacency();
+
+ private:
+  void check_vertex(VertexId u) const {
+    if (u >= adj_.size()) throw std::out_of_range("Graph: bad vertex id");
+  }
+
+  std::vector<std::vector<Edge>> adj_;
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace pregel::graph

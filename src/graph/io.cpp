@@ -1,0 +1,108 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pregel::graph {
+
+namespace {
+constexpr std::uint32_t kBinaryMagic = 0x50474348;  // "PGCH"
+constexpr std::uint32_t kBinaryVersion = 1;
+}  // namespace
+
+void save_edge_list(const Graph& g, const std::string& path, bool weighted) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  out << g.num_vertices() << (weighted ? " weighted" : "") << "\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Edge& e : g.out(u)) {
+      out << u << ' ' << e.dst;
+      if (weighted) out << ' ' << e.weight;
+      out << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("save_edge_list: write failed");
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  std::string line;
+  VertexId n = 0;
+  bool weighted = false;
+  // Header: skip comments, then "num_vertices [weighted]".
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream hdr(line);
+    std::string flag;
+    hdr >> n;
+    if (hdr >> flag) weighted = (flag == "weighted");
+    break;
+  }
+  Graph g(n);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    VertexId u = 0, v = 0;
+    Weight w = 1;
+    row >> u >> v;
+    if (weighted) row >> w;
+    if (row.fail()) throw std::runtime_error("load_edge_list: bad line");
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+void save_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_binary: cannot open " + path);
+  auto put32 = [&out](std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put32(kBinaryMagic);
+  put32(kBinaryVersion);
+  put32(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto edges = g.out(u);
+    put32(static_cast<std::uint32_t>(edges.size()));
+    if (!edges.empty()) {
+      out.write(reinterpret_cast<const char*>(edges.data()),
+                static_cast<std::streamsize>(edges.size() * sizeof(Edge)));
+    }
+  }
+  if (!out) throw std::runtime_error("save_binary: write failed");
+}
+
+Graph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_binary: cannot open " + path);
+  auto get32 = [&in]() {
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (get32() != kBinaryMagic) {
+    throw std::runtime_error("load_binary: bad magic");
+  }
+  if (get32() != kBinaryVersion) {
+    throw std::runtime_error("load_binary: unsupported version");
+  }
+  const VertexId n = get32();
+  Graph g(n);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    const std::uint32_t deg = get32();
+    edges.resize(deg);
+    if (deg != 0) {
+      in.read(reinterpret_cast<char*>(edges.data()),
+              static_cast<std::streamsize>(deg * sizeof(Edge)));
+    }
+    for (const Edge& e : edges) g.add_edge(u, e.dst, e.weight);
+  }
+  if (!in) throw std::runtime_error("load_binary: truncated file");
+  return g;
+}
+
+}  // namespace pregel::graph

@@ -1,0 +1,22 @@
+#pragma once
+// Graph I/O: plain edge-list text files and a fast binary snapshot.
+// Stands in for the paper's HDFS input layer (DESIGN.md section 1); the
+// storage backend is orthogonal to everything the evaluation measures.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pregel::graph {
+
+/// Text format: first line "num_vertices [weighted]", then one edge per
+/// line: "src dst [weight]". Lines starting with '#' are comments.
+void save_edge_list(const Graph& g, const std::string& path,
+                    bool weighted = false);
+Graph load_edge_list(const std::string& path);
+
+/// Binary snapshot (little-endian, versioned header).
+void save_binary(const Graph& g, const std::string& path);
+Graph load_binary(const std::string& path);
+
+}  // namespace pregel::graph

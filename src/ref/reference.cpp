@@ -1,0 +1,244 @@
+#include "ref/reference.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stack>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pregel::ref {
+
+using graph::Edge;
+using graph::kInfWeight;
+
+std::vector<double> pagerank(const Graph& g, int iterations, double damping) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> pr(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    double sink = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto edges = g.out(u);
+      if (edges.empty()) {
+        sink += pr[u];
+      } else {
+        const double share = pr[u] / static_cast<double>(edges.size());
+        for (const Edge& e : edges) next[e.dst] += share;
+      }
+    }
+    const double base = (1.0 - damping) / n;
+    const double redistributed = sink / n;
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = base + damping * (next[v] + redistributed);
+    }
+    pr.swap(next);
+  }
+  return pr;
+}
+
+std::vector<std::uint64_t> sssp(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint64_t> dist(n, kInfWeight);
+  if (source >= n) throw std::out_of_range("sssp: bad source");
+  using Item = std::pair<std::uint64_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const Edge& e : g.out(u)) {
+      const std::uint64_t nd = d + e.weight;
+      if (nd < dist[e.dst]) {
+        dist[e.dst] = nd;
+        pq.emplace(nd, e.dst);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  // Undirected view.
+  std::vector<std::vector<VertexId>> nbr(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Edge& e : g.out(u)) {
+      nbr[u].push_back(e.dst);
+      nbr[e.dst].push_back(u);
+    }
+  }
+  std::vector<VertexId> comp(n, graph::kInvalidVertex);
+  std::queue<VertexId> q;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != graph::kInvalidVertex) continue;
+    comp[s] = s;  // s is the smallest id in its component (scan order)
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (VertexId v : nbr[u]) {
+        if (comp[v] == graph::kInvalidVertex) {
+          comp[v] = s;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+std::vector<VertexId> pointer_jumping_roots(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto edges = g.out(v);
+    if (edges.size() > 1) {
+      throw std::invalid_argument(
+          "pointer_jumping_roots: not a parent-pointer forest");
+    }
+    parent[v] = edges.empty() ? v : edges[0].dst;
+  }
+  std::vector<VertexId> root(n, graph::kInvalidVertex);
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < n; ++v) {
+    if (root[v] != graph::kInvalidVertex) continue;
+    path.clear();
+    VertexId u = v;
+    while (root[u] == graph::kInvalidVertex && parent[u] != u) {
+      path.push_back(u);
+      u = parent[u];
+    }
+    const VertexId r = (parent[u] == u) ? u : root[u];
+    root[u] = r;
+    for (VertexId w : path) root[w] = r;
+  }
+  return root;
+}
+
+std::vector<VertexId> strongly_connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  // Iterative Tarjan (chains of 10^6 vertices must not overflow the stack).
+  std::vector<std::uint32_t> index(n, 0), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false), visited(n, false);
+  std::vector<VertexId> scc_stack;
+  std::vector<VertexId> comp(n, graph::kInvalidVertex);
+  std::uint32_t next_index = 1;
+
+  struct Frame {
+    VertexId v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    call_stack.push_back({s, 0});
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.back();
+      const VertexId v = frame.v;
+      if (frame.edge_pos == 0) {
+        visited[v] = true;
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto edges = g.out(v);
+      bool descended = false;
+      while (frame.edge_pos < edges.size()) {
+        const VertexId w = edges[frame.edge_pos].dst;
+        ++frame.edge_pos;
+        if (!visited[w]) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // v finished: maybe pop an SCC, then propagate lowlink to parent.
+      if (lowlink[v] == index[v]) {
+        VertexId min_id = graph::kInvalidVertex;
+        std::size_t first = scc_stack.size();
+        while (true) {
+          const VertexId w = scc_stack[--first];
+          min_id = std::min(min_id, w);
+          if (w == v) break;
+        }
+        for (std::size_t i = first; i < scc_stack.size(); ++i) {
+          comp[scc_stack[i]] = min_id;
+          on_stack[scc_stack[i]] = false;
+        }
+        scc_stack.resize(first);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const VertexId parent = call_stack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return comp;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+  VertexId find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::uint64_t msf_weight(const Graph& g) {
+  struct Item {
+    graph::Weight w;
+    VertexId u, v;
+  };
+  std::vector<Item> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Edge& e : g.out(u)) {
+      // Undirected view: count each {u,v} once by keeping u < dst side; the
+      // symmetric copy (if present) is skipped.
+      if (u < e.dst) edges.push_back({e.weight, u, e.dst});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Item& a, const Item& b) { return a.w < b.w; });
+  UnionFind uf(g.num_vertices());
+  std::uint64_t total = 0;
+  for (const Item& e : edges) {
+    if (uf.unite(e.u, e.v)) total += e.w;
+  }
+  return total;
+}
+
+std::size_t count_distinct(const std::vector<VertexId>& labels) {
+  std::unordered_set<VertexId> s(labels.begin(), labels.end());
+  return s.size();
+}
+
+}  // namespace pregel::ref

@@ -1,0 +1,45 @@
+#pragma once
+// Sequential reference algorithms: single-threaded oracles the test suite
+// checks every distributed implementation against. Deliberately simple and
+// obviously-correct; performance does not matter here.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pregel::ref {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Power-iteration PageRank with a global sink redistribution for dead
+/// ends, matching the distributed formulation in the paper's Fig. 1:
+///   pr'(v) = 0.15/n + 0.85 * (sum_in pr(u)/outdeg(u) + sink/n).
+std::vector<double> pagerank(const Graph& g, int iterations,
+                             double damping = 0.85);
+
+/// Dijkstra single-source shortest paths (weights are non-negative);
+/// unreachable vertices get graph::kInfWeight.
+std::vector<std::uint64_t> sssp(const Graph& g, VertexId source);
+
+/// Connected components of the undirected view of g; result[v] is the
+/// smallest vertex id in v's component.
+std::vector<VertexId> connected_components(const Graph& g);
+
+/// Root of each vertex in a parent-pointer forest (vertex with out-degree
+/// 0 is a root; otherwise its single out-edge points to the parent).
+std::vector<VertexId> pointer_jumping_roots(const Graph& g);
+
+/// Strongly connected components (iterative Tarjan); result[v] is the
+/// smallest vertex id in v's SCC.
+std::vector<VertexId> strongly_connected_components(const Graph& g);
+
+/// Total weight of a minimum spanning forest of the undirected view
+/// (Kruskal + union-find).
+std::uint64_t msf_weight(const Graph& g);
+
+/// Number of distinct values in a labelling (component counts etc.).
+std::size_t count_distinct(const std::vector<VertexId>& labels);
+
+}  // namespace pregel::ref

@@ -1,0 +1,139 @@
+#pragma once
+// Buffer: the raw byte container every channel serializes into and
+// deserializes from (paper Fig. 2/3). A Buffer is single-owner: a worker
+// writes its outbox buffers, the exchange hands them to the peer, and the
+// peer reads them front-to-back.
+//
+// The format is untyped: writers and readers must agree on the sequence of
+// operations (channels are registered in identical order on every worker,
+// so the sequence is aligned by construction; see core/worker.hpp).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pregel::runtime {
+
+/// A trivially-copyable type can be written to a Buffer byte-for-byte.
+template <typename T>
+concept TriviallySerializable =
+    std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+/// Growable byte buffer with a read cursor.
+///
+/// Writing appends at the end; reading consumes from the front. `rewind()`
+/// resets the cursor (used when a buffer flips from outbox to inbox),
+/// `clear()` also drops the contents (used when it flips back to outbox).
+class Buffer {
+ public:
+  Buffer() = default;
+
+  void clear() noexcept {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  void rewind() noexcept { read_pos_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Bytes not yet consumed by read().
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - read_pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  // ---- scalar I/O -------------------------------------------------------
+
+  template <TriviallySerializable T>
+  void write(const T& v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+
+  template <TriviallySerializable T>
+  T read() {
+    assert(remaining() >= sizeof(T) && "Buffer underflow");
+    T v;
+    std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return v;
+  }
+
+  template <TriviallySerializable T>
+  [[nodiscard]] T peek() const {
+    assert(remaining() >= sizeof(T) && "Buffer underflow");
+    T v;
+    std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
+    return v;
+  }
+
+  // ---- bulk I/O ---------------------------------------------------------
+
+  void write_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    data_.insert(data_.end(), b, b + n);
+  }
+
+  void read_bytes(void* p, std::size_t n) {
+    assert(remaining() >= n && "Buffer underflow");
+    std::memcpy(p, data_.data() + read_pos_, n);
+    read_pos_ += n;
+  }
+
+  /// Length-prefixed vector of trivially-copyable elements.
+  template <TriviallySerializable T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint32_t>(static_cast<std::uint32_t>(v.size()));
+    if (!v.empty()) write_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  template <TriviallySerializable T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint32_t>();
+    std::vector<T> v(n);
+    if (n != 0) read_bytes(v.data(), std::size_t{n} * sizeof(T));
+    return v;
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    if (!s.empty()) write_bytes(s.data(), s.size());
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint32_t>();
+    std::string s(n, '\0');
+    if (n != 0) read_bytes(s.data(), n);
+    return s;
+  }
+
+  // ---- patching (length frames written before content is known) ---------
+
+  /// Reserve a u32 slot and return its offset for a later patch_u32().
+  std::size_t reserve_u32() {
+    const std::size_t off = data_.size();
+    write<std::uint32_t>(0);
+    return off;
+  }
+
+  void patch_u32(std::size_t offset, std::uint32_t value) {
+    assert(offset + sizeof(value) <= data_.size());
+    std::memcpy(data_.data() + offset, &value, sizeof(value));
+  }
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_.data(); }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace pregel::runtime

@@ -1,0 +1,151 @@
+#pragma once
+// BufferExchange: the W x W outbox/inbox matrix of raw buffers and the
+// pairwise buffer exchange from the paper's Fig. 2.
+//
+// Workers write into their outboxes during channel serialize(), then the
+// team collectively calls exchange(): at the barrier the outbox matrix and
+// the inbox matrix swap roles, bytes are accounted, the new outboxes (whose
+// contents were consumed one full round ago) are cleared, and the new
+// inboxes are rewound for reading. After exchange() returns, channel
+// deserialize() reads the inboxes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/buffer.hpp"
+
+namespace pregel::runtime {
+
+/// Simulated per-worker network bandwidth in MB/s, read once from the
+/// PGCH_SIM_NET_MBPS environment variable (0 / unset = disabled).
+///
+/// Workers here are threads, so buffer exchange is a memcpy: the transit
+/// time a real cluster pays (the paper's testbed: 750 Mbps links) is
+/// absent, and optimizations whose benefit is *message volume* would show
+/// up only in the byte counters, not in runtime. When enabled, every
+/// exchange round blocks for max_w(bytes_in(w), bytes_out(w)) / bandwidth
+/// — the bottleneck-link time of that round. See DESIGN.md section 1.
+inline double simulated_bandwidth_bytes_per_sec() {
+  static const double value = [] {
+    const char* env = std::getenv("PGCH_SIM_NET_MBPS");
+    if (env == nullptr) return 0.0;
+    const double mbps = std::atof(env);
+    return mbps > 0.0 ? mbps * 1024.0 * 1024.0 : 0.0;
+  }();
+  return value;
+}
+
+class BufferExchange {
+ public:
+  BufferExchange(int num_workers, Barrier& barrier)
+      : num_workers_(num_workers),
+        barrier_(barrier),
+        mat_a_(static_cast<std::size_t>(num_workers) * num_workers),
+        mat_b_(static_cast<std::size_t>(num_workers) * num_workers),
+        out_(&mat_a_),
+        in_(&mat_b_) {}
+
+  BufferExchange(const BufferExchange&) = delete;
+  BufferExchange& operator=(const BufferExchange&) = delete;
+
+  [[nodiscard]] int num_workers() const noexcept { return num_workers_; }
+
+  /// Buffer that worker `from` fills with data destined for worker `to`.
+  Buffer& outbox(int from, int to) { return (*out_)[index(from, to)]; }
+
+  /// Buffer holding the data worker `from` sent to worker `to` in the most
+  /// recent exchange.
+  Buffer& inbox(int to, int from) { return (*in_)[index(from, to)]; }
+
+  /// Collective: all workers must call. Swaps outboxes and inboxes.
+  void exchange(int /*rank*/) {
+    barrier_.arrive_and_wait([this] {
+      // Account what is about to be delivered.
+      for (const Buffer& b : *out_) {
+        total_bytes_ += b.size();
+        if (!b.empty()) ++total_batches_;
+      }
+      simulate_network_transit();
+      std::swap(out_, in_);
+      // New outboxes carry data consumed a full round ago; recycle them.
+      for (Buffer& b : *out_) b.clear();
+      for (Buffer& b : *in_) b.rewind();
+      ++rounds_;
+    });
+  }
+
+  /// A plain team-wide barrier (no buffer movement).
+  void barrier_only() { barrier_.arrive_and_wait(); }
+
+  // ---- statistics (read between rounds; not thread-safe mid-exchange) ---
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+  [[nodiscard]] std::uint64_t total_batches() const noexcept {
+    return total_batches_;
+  }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  void reset_stats() noexcept {
+    total_bytes_ = 0;
+    total_batches_ = 0;
+    rounds_ = 0;
+  }
+
+  /// Sum of current outbox sizes written by `from` (used by engines to
+  /// attribute bytes to the channel that just serialized).
+  [[nodiscard]] std::uint64_t outbox_bytes(int from) const {
+    std::uint64_t n = 0;
+    for (int to = 0; to < num_workers_; ++to) {
+      n += (*out_)[index(from, to)].size();
+    }
+    return n;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int from, int to) const noexcept {
+    return static_cast<std::size_t>(from) * num_workers_ + to;
+  }
+
+  /// Block for the bottleneck-link transit time of this round (no-op when
+  /// PGCH_SIM_NET_MBPS is unset). Runs inside the barrier completion, so
+  /// the whole team waits — exactly like a synchronous network flush.
+  /// Worker-local (i == j) buffers never cross the network and are free.
+  void simulate_network_transit() const {
+    const double bw = simulated_bandwidth_bytes_per_sec();
+    if (bw <= 0.0) return;
+    std::uint64_t worst = 0;
+    for (int w = 0; w < num_workers_; ++w) {
+      std::uint64_t sent = 0, received = 0;
+      for (int peer = 0; peer < num_workers_; ++peer) {
+        if (peer == w) continue;
+        sent += (*out_)[index(w, peer)].size();
+        received += (*out_)[index(peer, w)].size();
+      }
+      worst = std::max({worst, sent, received});
+    }
+    if (worst == 0) return;
+    const auto delay = std::chrono::duration<double>(
+        static_cast<double>(worst) / bw);
+    std::this_thread::sleep_for(delay);
+  }
+
+  const int num_workers_;
+  Barrier& barrier_;
+  std::vector<Buffer> mat_a_;
+  std::vector<Buffer> mat_b_;
+  std::vector<Buffer>* out_;
+  std::vector<Buffer>* in_;
+
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_batches_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace pregel::runtime

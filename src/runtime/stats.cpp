@@ -1,0 +1,26 @@
+#include "runtime/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace pregel::runtime {
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << seconds << " s  "
+     << std::setprecision(2) << message_mb() << " MB  " << supersteps
+     << " steps  " << comm_rounds << " rounds";
+  return os.str();
+}
+
+std::string RunStats::detailed() const {
+  std::ostringstream os;
+  os << summary() << "\n";
+  for (const auto& [name, bytes] : bytes_by_channel) {
+    os << "  channel " << name << ": " << std::fixed << std::setprecision(2)
+       << static_cast<double>(bytes) / (1024.0 * 1024.0) << " MB\n";
+  }
+  return os.str();
+}
+
+}  // namespace pregel::runtime

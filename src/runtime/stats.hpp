@@ -1,0 +1,34 @@
+#pragma once
+// RunStats: the measurement record every engine run produces. These are
+// the quantities the paper's evaluation tables report: wall-clock runtime
+// and message volume, plus superstep/communication-round counts that the
+// analysis sections reference (e.g. SCC's 1247 supersteps).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pregel::runtime {
+
+struct RunStats {
+  double seconds = 0.0;          ///< wall time of the superstep loop
+  int supersteps = 0;            ///< number of (global) supersteps executed
+  std::uint64_t comm_rounds = 0; ///< buffer-exchange rounds (>= supersteps)
+  std::uint64_t message_bytes = 0;   ///< total bytes through the exchange
+  std::uint64_t message_batches = 0; ///< non-empty (src,dst) buffers moved
+
+  /// Bytes attributed to each named channel (channel-engine runs only).
+  std::map<std::string, std::uint64_t> bytes_by_channel;
+
+  [[nodiscard]] double message_mb() const {
+    return static_cast<double>(message_bytes) / (1024.0 * 1024.0);
+  }
+
+  /// One-line human-readable summary ("12.34 s  56.78 MB  31 steps").
+  [[nodiscard]] std::string summary() const;
+
+  /// Multi-line report including the per-channel byte breakdown.
+  [[nodiscard]] std::string detailed() const;
+};
+
+}  // namespace pregel::runtime

@@ -1,0 +1,44 @@
+#pragma once
+// WorkerTeam: spawns one thread per worker rank and runs a callable on
+// each. This replaces `mpirun -n W` in the paper's setting: ranks share no
+// graph state and may communicate only through the BufferExchange / the
+// reducers they are handed.
+
+#include <exception>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pregel::runtime {
+
+class WorkerTeam {
+ public:
+  /// Run fn(rank) on `num_workers` threads; rethrows the first exception
+  /// raised by any rank after all threads have joined.
+  template <typename Fn>
+  static void run(int num_workers, Fn&& fn) {
+    if (num_workers <= 0) {
+      throw std::invalid_argument("WorkerTeam: num_workers must be >= 1");
+    }
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(num_workers));
+    threads.reserve(static_cast<std::size_t>(num_workers));
+    for (int rank = 0; rank < num_workers; ++rank) {
+      threads.emplace_back([rank, &fn, &errors] {
+        try {
+          fn(rank);
+        } catch (...) {
+          errors[static_cast<std::size_t>(rank)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+};
+
+}  // namespace pregel::runtime

@@ -1,0 +1,92 @@
+// Tests for the Blogel block-centric baseline and its WCC block program.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/blogel_wcc.hpp"
+#include "algorithms/runner.hpp"
+#include "algorithms/wcc.hpp"
+#include "graph/distributed.hpp"
+#include "graph/generators.hpp"
+#include "ref/reference.hpp"
+
+namespace {
+
+using namespace pregel;
+using graph::DistributedGraph;
+using graph::Graph;
+using graph::VertexId;
+
+class BlogelWccSuite
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {
+ protected:
+  Graph make_graph() const {
+    switch (std::get<0>(GetParam())) {
+      case 0:
+        return graph::random_undirected(2500, 3.0, 7);
+      case 1:
+        return graph::rmat({.num_vertices = 1 << 10,
+                            .num_edges = 1 << 12,
+                            .seed = 9})
+            .symmetrized();
+      default:
+        return graph::grid_road(40, 40, 10, 3);
+    }
+  }
+  int workers() const { return std::get<1>(GetParam()); }
+  bool partitioned() const { return std::get<2>(GetParam()); }
+
+  DistributedGraph make_dg(const Graph& g) const {
+    if (partitioned()) {
+      graph::VoronoiOptions opts;
+      opts.num_workers = workers();
+      return DistributedGraph(g, graph::voronoi_partition(g, opts));
+    }
+    return DistributedGraph(g,
+                            graph::hash_partition(g.num_vertices(), workers()));
+  }
+};
+
+TEST_P(BlogelWccSuite, MatchesReference) {
+  const Graph g = make_graph();
+  const DistributedGraph dg = make_dg(g);
+  const auto expect = ref::connected_components(g);
+  std::vector<VertexId> got;
+  algo::run_collect<algo::BlogelWcc>(
+      dg, got, [](const algo::WccVertex& v) { return v.value().label; });
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(got[v], expect[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(BlogelWccSuite, NeedsFewerSuperstepsThanPlainHashmin) {
+  // The point of block-centric execution: intra-block convergence removes
+  // the diameter from the superstep count.
+  const Graph g = make_graph();
+  const DistributedGraph dg = make_dg(g);
+  std::vector<VertexId> sink;
+  const auto blogel = algo::run_collect<algo::BlogelWcc>(
+      dg, sink, [](const algo::WccVertex& v) { return v.value().label; });
+  const auto plain = algo::run_collect<algo::WccBasic>(
+      dg, sink, [](const algo::WccVertex& v) { return v.value().label; });
+  EXPECT_LE(blogel.supersteps, plain.supersteps);
+}
+
+std::string blogel_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, bool>>& info) {
+  static const char* kinds[] = {"social", "rmat", "road"};
+  return std::string(kinds[std::get<0>(info.param)]) + "_w" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) ? "_voronoi" : "_hash");
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, BlogelWccSuite,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Bool()),
+                         blogel_case_name);
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Sanity tests for the sequential oracles themselves, on graphs with
+// hand-computable answers. (If the oracles are wrong, every integration
+// test downstream is meaningless.)
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "ref/reference.hpp"
+
+namespace {
+
+using namespace pregel::graph;
+using namespace pregel::ref;
+
+TEST(RefPageRank, UniformOnSymmetricCycle) {
+  // Directed 4-cycle: perfectly symmetric, so PageRank stays uniform.
+  Graph g(4);
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  const auto pr = pagerank(g, 30);
+  for (const double p : pr) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(RefPageRank, MassIsConserved) {
+  const Graph g = rmat({.num_vertices = 1 << 10,
+                        .num_edges = 1 << 12,
+                        .seed = 5});
+  const auto pr = pagerank(g, 25);
+  double total = 0.0;
+  for (const double p : pr) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RefPageRank, SinkRedistributionKeepsDeadEndMass) {
+  // 0 -> 1, 1 is a dead end: without sink handling mass would leak.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto pr = pagerank(g, 50);
+  EXPECT_NEAR(pr[0] + pr[1], 1.0, 1e-9);
+  EXPECT_GT(pr[1], pr[0]);  // 1 receives all of 0's mass
+}
+
+TEST(RefSssp, HandComputedDistances) {
+  Graph g(5);
+  g.add_edge(0, 1, 4);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 1, 2);
+  g.add_edge(1, 3, 1);
+  g.add_edge(2, 3, 7);
+  const auto d = sssp(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 3u);  // via 2
+  EXPECT_EQ(d[2], 1u);
+  EXPECT_EQ(d[3], 4u);  // via 2,1
+  EXPECT_EQ(d[4], static_cast<std::uint64_t>(kInfWeight));  // unreachable
+}
+
+TEST(RefConnectedComponents, TwoIslands) {
+  Graph g(6);
+  g.add_undirected_edge(0, 1);
+  g.add_undirected_edge(1, 2);
+  g.add_undirected_edge(4, 5);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[0], comp[4]);
+  EXPECT_EQ(comp[3], 3u);  // isolated vertex labels itself
+  EXPECT_EQ(count_distinct(comp), 3u);
+}
+
+TEST(RefPointerJumping, ChainRootsAreZero) {
+  const Graph g = chain(1000);
+  const auto roots = pointer_jumping_roots(g);
+  for (const VertexId r : roots) EXPECT_EQ(r, 0u);
+}
+
+TEST(RefPointerJumping, ForestOfTwoTrees) {
+  Graph g(6);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  g.add_edge(4, 3);
+  g.add_edge(5, 4);
+  const auto roots = pointer_jumping_roots(g);
+  EXPECT_EQ(roots[2], 0u);
+  EXPECT_EQ(roots[5], 3u);
+  EXPECT_EQ(roots[0], 0u);
+  EXPECT_EQ(roots[3], 3u);
+}
+
+TEST(RefScc, CycleAndTail) {
+  // 0 -> 1 -> 2 -> 0 cycle, 3 hangs off.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc[0], scc[1]);
+  EXPECT_EQ(scc[1], scc[2]);
+  EXPECT_EQ(scc[0], 0u);
+  EXPECT_EQ(scc[3], 3u);
+}
+
+TEST(RefScc, ChainIsAllTrivial) {
+  const Graph g = chain(100);
+  const auto scc = strongly_connected_components(g);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(scc[v], v);
+}
+
+TEST(RefScc, DeepChainDoesNotOverflowStack) {
+  const Graph g = chain(500000);  // would crash a recursive Tarjan
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc[499999], 499999u);
+}
+
+TEST(RefScc, TwoCyclesJoined) {
+  // cycles {0,1} and {2,3} with a one-way bridge 1 -> 2.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc[0], scc[1]);
+  EXPECT_EQ(scc[2], scc[3]);
+  EXPECT_NE(scc[0], scc[2]);
+}
+
+TEST(RefMsf, HandComputedWeight) {
+  Graph g(4);
+  g.add_undirected_edge(0, 1, 1);
+  g.add_undirected_edge(1, 2, 2);
+  g.add_undirected_edge(2, 3, 3);
+  g.add_undirected_edge(0, 3, 10);
+  EXPECT_EQ(msf_weight(g), 6u);  // 1 + 2 + 3, skip the 10
+}
+
+TEST(RefMsf, ForestCountsEachTree) {
+  Graph g(5);
+  g.add_undirected_edge(0, 1, 2);
+  g.add_undirected_edge(3, 4, 5);
+  EXPECT_EQ(msf_weight(g), 7u);
+}
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Unit tests for the message-passing substrate: Buffer serialization,
+// Barrier, AllReducer, BufferExchange and WorkerTeam.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/exchange.hpp"
+#include "runtime/team.hpp"
+
+namespace {
+
+using pregel::runtime::AllReducer;
+using pregel::runtime::Barrier;
+using pregel::runtime::Buffer;
+using pregel::runtime::BufferExchange;
+using pregel::runtime::WorkerTeam;
+
+// ---------------------------------------------------------------- Buffer --
+
+TEST(Buffer, ScalarRoundTrip) {
+  Buffer b;
+  b.write<std::uint32_t>(42);
+  b.write<double>(3.5);
+  b.write<std::int8_t>(-7);
+  EXPECT_EQ(b.size(), sizeof(std::uint32_t) + sizeof(double) + 1);
+  EXPECT_EQ(b.read<std::uint32_t>(), 42u);
+  EXPECT_DOUBLE_EQ(b.read<double>(), 3.5);
+  EXPECT_EQ(b.read<std::int8_t>(), -7);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Buffer, StructRoundTrip) {
+  struct Wire {
+    std::uint32_t a;
+    float b;
+  };
+  Buffer buf;
+  buf.write(Wire{7, 2.5f});
+  const auto w = buf.read<Wire>();
+  EXPECT_EQ(w.a, 7u);
+  EXPECT_FLOAT_EQ(w.b, 2.5f);
+}
+
+TEST(Buffer, VectorRoundTrip) {
+  Buffer b;
+  std::vector<std::uint64_t> v{1, 2, 3, 5, 8};
+  b.write_vector(v);
+  EXPECT_EQ(b.read_vector<std::uint64_t>(), v);
+}
+
+TEST(Buffer, EmptyVectorRoundTrip) {
+  Buffer b;
+  b.write_vector(std::vector<int>{});
+  EXPECT_TRUE(b.read_vector<int>().empty());
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Buffer, StringRoundTrip) {
+  Buffer b;
+  b.write_string("hello channels");
+  b.write_string("");
+  EXPECT_EQ(b.read_string(), "hello channels");
+  EXPECT_EQ(b.read_string(), "");
+}
+
+TEST(Buffer, PeekDoesNotConsume) {
+  Buffer b;
+  b.write<int>(9);
+  EXPECT_EQ(b.peek<int>(), 9);
+  EXPECT_EQ(b.read<int>(), 9);
+}
+
+TEST(Buffer, RewindRereads) {
+  Buffer b;
+  b.write<int>(1);
+  b.write<int>(2);
+  EXPECT_EQ(b.read<int>(), 1);
+  b.rewind();
+  EXPECT_EQ(b.read<int>(), 1);
+  EXPECT_EQ(b.read<int>(), 2);
+}
+
+TEST(Buffer, ClearEmpties) {
+  Buffer b;
+  b.write<int>(1);
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Buffer, PatchU32) {
+  Buffer b;
+  const auto slot = b.reserve_u32();
+  b.write<std::uint16_t>(99);
+  b.patch_u32(slot, 1234);
+  EXPECT_EQ(b.read<std::uint32_t>(), 1234u);
+  EXPECT_EQ(b.read<std::uint16_t>(), 99);
+}
+
+TEST(Buffer, InterleavedReadWrite) {
+  Buffer b;
+  b.write<int>(1);
+  EXPECT_EQ(b.read<int>(), 1);
+  b.write<int>(2);  // append while cursor is at the end of old data
+  EXPECT_EQ(b.read<int>(), 2);
+}
+
+// --------------------------------------------------------------- Barrier --
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  WorkerTeam::run(kThreads, [&](int /*rank*/) {
+    for (int p = 0; p < kPhases; ++p) {
+      phase_counter.fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier every thread of phase p has incremented.
+      EXPECT_GE(phase_counter.load(), kThreads * (p + 1));
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(phase_counter.load(), kThreads * kPhases);
+}
+
+TEST(Barrier, CompletionRunsExactlyOncePerPhase) {
+  constexpr int kThreads = 3;
+  constexpr int kPhases = 20;
+  Barrier barrier(kThreads);
+  std::atomic<int> completions{0};
+  WorkerTeam::run(kThreads, [&](int /*rank*/) {
+    for (int p = 0; p < kPhases; ++p) {
+      barrier.arrive_and_wait([&] { completions.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(completions.load(), kPhases);
+}
+
+TEST(Barrier, SingleThreadTeamNeverBlocks) {
+  Barrier barrier(1);
+  int completions = 0;
+  barrier.arrive_and_wait([&] { ++completions; });
+  barrier.arrive_and_wait();
+  EXPECT_EQ(completions, 1);
+}
+
+// ------------------------------------------------------------ AllReducer --
+
+TEST(AllReducer, SumAcrossRanks) {
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  AllReducer<std::uint64_t> red(kThreads, barrier);
+  std::vector<std::uint64_t> results(kThreads);
+  WorkerTeam::run(kThreads, [&](int rank) {
+    results[static_cast<std::size_t>(rank)] =
+        red.sum(rank, static_cast<std::uint64_t>(rank + 1));
+  });
+  for (const auto r : results) EXPECT_EQ(r, 1u + 2 + 3 + 4);
+}
+
+TEST(AllReducer, AnyAndAll) {
+  constexpr int kThreads = 3;
+  Barrier barrier(kThreads);
+  AllReducer<std::uint64_t> red(kThreads, barrier);
+  std::vector<int> any_result(kThreads), all_result(kThreads);
+  WorkerTeam::run(kThreads, [&](int rank) {
+    any_result[static_cast<std::size_t>(rank)] = red.any(rank, rank == 2);
+    all_result[static_cast<std::size_t>(rank)] = red.all(rank, rank != 2);
+  });
+  for (int r = 0; r < kThreads; ++r) {
+    EXPECT_TRUE(any_result[static_cast<std::size_t>(r)]);
+    EXPECT_FALSE(all_result[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(AllReducer, BitmaskOrManyRounds) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  Barrier barrier(kThreads);
+  AllReducer<std::uint64_t> red(kThreads, barrier);
+  std::atomic<int> failures{0};
+  WorkerTeam::run(kThreads, [&](int rank) {
+    for (int round = 0; round < kRounds; ++round) {
+      const std::uint64_t mine = std::uint64_t{1}
+                                 << ((rank + round) % kThreads);
+      const std::uint64_t mask = red.reduce(
+          rank, mine, [](std::uint64_t a, std::uint64_t b) { return a | b; },
+          std::uint64_t{0});
+      if (mask != 0xF) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --------------------------------------------------------- BufferExchange --
+
+TEST(BufferExchange, PairwiseDelivery) {
+  constexpr int kWorkers = 4;
+  Barrier barrier(kWorkers);
+  BufferExchange ex(kWorkers, barrier);
+  std::atomic<int> failures{0};
+  WorkerTeam::run(kWorkers, [&](int rank) {
+    for (int to = 0; to < kWorkers; ++to) {
+      ex.outbox(rank, to).write<int>(rank * 100 + to);
+    }
+    ex.exchange(rank);
+    for (int from = 0; from < kWorkers; ++from) {
+      if (ex.inbox(rank, from).read<int>() != from * 100 + rank) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ex.total_bytes(), kWorkers * kWorkers * sizeof(int));
+  EXPECT_EQ(ex.total_batches(),
+            static_cast<std::uint64_t>(kWorkers * kWorkers));
+}
+
+TEST(BufferExchange, OutboxesRecycledAfterTwoRounds) {
+  constexpr int kWorkers = 2;
+  Barrier barrier(kWorkers);
+  BufferExchange ex(kWorkers, barrier);
+  std::atomic<int> failures{0};
+  WorkerTeam::run(kWorkers, [&](int rank) {
+    for (int round = 0; round < 6; ++round) {
+      for (int to = 0; to < kWorkers; ++to) {
+        auto& out = ex.outbox(rank, to);
+        if (out.size() != 0) failures.fetch_add(1);  // must start clean
+        out.write<int>(round * 10 + rank);
+      }
+      ex.exchange(rank);
+      for (int from = 0; from < kWorkers; ++from) {
+        if (ex.inbox(rank, from).read<int>() != round * 10 + from) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(BufferExchange, EmptyRoundCountsNothing) {
+  constexpr int kWorkers = 2;
+  Barrier barrier(kWorkers);
+  BufferExchange ex(kWorkers, barrier);
+  WorkerTeam::run(kWorkers, [&](int rank) { ex.exchange(rank); });
+  EXPECT_EQ(ex.total_bytes(), 0u);
+  EXPECT_EQ(ex.total_batches(), 0u);
+  EXPECT_EQ(ex.rounds(), 1u);
+}
+
+// ------------------------------------------------------------ WorkerTeam --
+
+TEST(WorkerTeam, RunsEveryRankOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  WorkerTeam::run(8, [&](int rank) {
+    hits[static_cast<std::size_t>(rank)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerTeam, PropagatesExceptions) {
+  EXPECT_THROW(
+      WorkerTeam::run(3,
+                      [&](int rank) {
+                        if (rank == 1) throw std::runtime_error("rank 1 died");
+                      }),
+      std::runtime_error);
+}
+
+TEST(WorkerTeam, RejectsBadWorkerCount) {
+  EXPECT_THROW(WorkerTeam::run(0, [](int) {}), std::invalid_argument);
+}
+
+}  // namespace
