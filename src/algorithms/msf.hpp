@@ -89,7 +89,12 @@ class MsfBoruvka : public Worker<MsfVertex> {
   }
 
   void begin_superstep() override {
+    // Compute-time scratch, sized while single-threaded: one neighbor-map
+    // per compute slot, one pending pick per vertex (w == kInfWeight means
+    // none) — both safe under a parallel compute phase.
+    nbr_comp_.resize(static_cast<std::size_t>(compute_threads()));
     if (step_num() == 1) {
+      pending_pick_.assign(num_local(), CandEdge{});
       phase_ = Phase::kBcast;
       return;
     }
@@ -135,9 +140,11 @@ class MsfBoruvka : public Worker<MsfVertex> {
       case Phase::kMinEdge: {
         // Learn the neighbors' components, drop internal edges, offer the
         // lightest external edge to my root.
-        nbr_comp_.clear();
+        auto& nbr_comp =
+            nbr_comp_[static_cast<std::size_t>(compute_slot())];
+        nbr_comp.clear();
         for (const auto& m : nbr_.get_iterator()) {
-          nbr_comp_[m.sender] = m.comp;
+          nbr_comp[m.sender] = m.comp;
         }
         CandEdge best;
         std::vector<graph::Edge> kept;
@@ -146,8 +153,8 @@ class MsfBoruvka : public Worker<MsfVertex> {
           // Pruning is symmetric, so a live neighbor always broadcast;
           // keep the edge conservatively if a duplicate-edge corner case
           // left it unannounced.
-          const auto it = nbr_comp_.find(e.dst);
-          if (it == nbr_comp_.end()) {
+          const auto it = nbr_comp.find(e.dst);
+          if (it == nbr_comp.end()) {
             kept.push_back(e);
             continue;
           }
@@ -173,7 +180,7 @@ class MsfBoruvka : public Worker<MsfVertex> {
           const CandEdge pick = cand_.get_message();
           val.parent = pick.target;
           ask_.send_message(pick.target, v.id());
-          pending_pick_[current_local()] = pick;
+          pending_pick_[current_local()] = pick;  // own slot: no race
         }
         break;
       }
@@ -184,9 +191,8 @@ class MsfBoruvka : public Worker<MsfVertex> {
         break;
       }
       case Phase::kResolve: {
-        const auto it = pending_pick_.find(current_local());
-        if (it != pending_pick_.end()) {
-          const CandEdge& mine = it->second;
+        CandEdge& mine = pending_pick_[current_local()];
+        if (mine.w != graph::kInfWeight) {
           const VertexId target_parent = reply_.get_iterator()[0];
           if (target_parent == v.id()) {
             // Mutual pick: both roots chose the same edge (see DESIGN.md);
@@ -198,7 +204,7 @@ class MsfBoruvka : public Worker<MsfVertex> {
           } else {
             val.msf_weight += mine.w;
           }
-          pending_pick_.erase(it);
+          mine = CandEdge{};  // consumed
         }
         // Everyone starts pointer jumping toward the new roots.
         val.jdone = (val.parent == v.id());
@@ -237,8 +243,10 @@ class MsfBoruvka : public Worker<MsfVertex> {
 
  private:
   Phase phase_ = Phase::kBcast;
-  std::unordered_map<std::uint32_t, CandEdge> pending_pick_;
-  std::unordered_map<VertexId, VertexId> nbr_comp_;  ///< per-vertex scratch
+  /// Per-vertex pending pick (w == kInfWeight means none).
+  std::vector<CandEdge> pending_pick_;
+  /// Per-vertex scratch, one instance per compute slot.
+  std::vector<std::unordered_map<VertexId, VertexId>> nbr_comp_;
 
   DirectMessage<MsfVertex, NbrComp> nbr_{this, "nbrcomp"};
   CombinedMessage<MsfVertex, CandEdge> cand_{

@@ -292,9 +292,14 @@ class SccPropagation : public Worker<SccVertex> {
         break;
       case Phase::kColorXchg:
         // Re-adding edges happens vertex-by-vertex in kFwdSeed; the
-        // channels are cleared once here.
+        // channels are cleared once here, and the per-slot scratch plus
+        // the sorted adjacency copies are (re)built while still
+        // single-threaded — kFwdSeed's compute may run on several
+        // compute threads.
         fwd_prop_.clear_edges();
         bwd_prop_.clear_edges();
+        scratch_.resize(static_cast<std::size_t>(compute_threads()));
+        if (sorted_edges_.empty()) build_sorted_edges();
         phase_ = Phase::kFwdSeed;
         break;
       case Phase::kFwdSeed:
@@ -359,21 +364,23 @@ class SccPropagation : public Worker<SccVertex> {
         // Keep only edges to live, same-color neighbors: the propagation
         // channels then need no per-message filtering at all. Matching is
         // a sort + two-pointer merge against a sorted adjacency copy —
-        // hashing here would dominate the whole algorithm.
-        if (sorted_edges_.empty()) build_sorted_edges();
-        scratch_.clear();
+        // hashing here would dominate the whole algorithm. Scratch is
+        // keyed by compute slot so parallel compute threads don't share
+        // (sized, with sorted_edges_, in begin_superstep's kColorXchg).
+        auto& scratch = scratch_[static_cast<std::size_t>(compute_slot())];
+        scratch.clear();
         for (const auto& m : colors_.get_iterator()) {
           if (m.color_f == val.color_f && m.color_b == val.color_b) {
-            scratch_.push_back(m.sender);
+            scratch.push_back(m.sender);
           }
         }
-        std::sort(scratch_.begin(), scratch_.end());
+        std::sort(scratch.begin(), scratch.end());
         const auto& edges = sorted_edges_[current_local()];
         std::size_t mi = 0;
         for (const auto& e : edges) {
-          while (mi < scratch_.size() && scratch_[mi] < e.dst) ++mi;
-          if (mi == scratch_.size()) break;
-          if (scratch_[mi] != e.dst) continue;
+          while (mi < scratch.size() && scratch[mi] < e.dst) ++mi;
+          if (mi == scratch.size()) break;
+          if (scratch[mi] != e.dst) continue;
           if (e.weight == kFwdTag) {
             fwd_prop_.add_edge(e.dst);
           } else {
@@ -442,7 +449,8 @@ class SccPropagation : public Worker<SccVertex> {
   Aggregator<SccVertex, std::uint64_t> alive_{this, scc_detail::sum_u64(),
                                               "alive"};
   std::vector<std::vector<graph::Edge>> sorted_edges_;
-  std::vector<VertexId> scratch_;  ///< same-color senders, reused per vertex
+  /// Same-color senders, reused per vertex; one instance per compute slot.
+  std::vector<std::vector<VertexId>> scratch_;
 };
 
 }  // namespace pregel::algo

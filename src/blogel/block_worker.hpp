@@ -15,7 +15,6 @@
 // Voting: a block deactivates after b_compute and is re-activated when a
 // message arrives for any of its member vertices.
 
-#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -23,7 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/channel.hpp"  // detail::Env / t_env
+#include "core/engine_base.hpp"
 #include "core/types.hpp"
 #include "core/vertex.hpp"
 #include "runtime/stats.hpp"
@@ -38,7 +37,7 @@ using Vertex = core::Vertex<ValueT>;
 
 template <typename VertexT, typename MsgT>
   requires runtime::TriviallySerializable<MsgT>
-class BlockWorker {
+class BlockWorker : public core::EngineBase {
  public:
   using ValueT = typename VertexT::value_type;
 
@@ -48,19 +47,10 @@ class BlockWorker {
     std::vector<std::uint32_t> members;
   };
 
-  BlockWorker() {
-    if (core::detail::t_env == nullptr) {
-      throw std::logic_error(
-          "BlockWorker must be constructed inside pregel::core::launch()");
-    }
-    env_ = *core::detail::t_env;
+  BlockWorker() : core::EngineBase("BlockWorker") {
     staged_.resize(static_cast<std::size_t>(num_workers()));
-    incoming_.resize(env_.dg->num_local(env_.rank));
+    incoming_.resize(num_local());
   }
-  virtual ~BlockWorker() = default;
-
-  BlockWorker(const BlockWorker&) = delete;
-  BlockWorker& operator=(const BlockWorker&) = delete;
 
   // ---- the user's block program -------------------------------------------
 
@@ -71,19 +61,7 @@ class BlockWorker {
 
   void set_combiner(core::Combiner<MsgT> c) { combiner_ = std::move(c); }
 
-  // ---- identity / access ---------------------------------------------------
-
-  [[nodiscard]] int rank() const noexcept { return env_.rank; }
-  [[nodiscard]] int num_workers() const noexcept {
-    return env_.dg->num_workers();
-  }
-  [[nodiscard]] int step_num() const noexcept { return step_; }
-  [[nodiscard]] std::uint64_t get_vnum() const noexcept {
-    return env_.dg->num_vertices();
-  }
-  [[nodiscard]] const graph::DistributedGraph& dgraph() const noexcept {
-    return *env_.dg;
-  }
+  // ---- access --------------------------------------------------------------
 
   [[nodiscard]] VertexT& local_vertex(std::uint32_t lidx) {
     return vertices_[lidx];
@@ -109,38 +87,22 @@ class BlockWorker {
     for (auto& v : vertices_) fn(v);
   }
 
-  [[nodiscard]] const runtime::RunStats& stats() const noexcept {
-    return stats_;
-  }
+ protected:
+  // ---- one superstep (EngineBase drives the loop) --------------------------
 
-  // ---- the superstep loop --------------------------------------------------
+  void prepare() override { load(); }
 
-  runtime::RunStats run() {
-    load();
-    env_.barrier->arrive_and_wait();
-
-    const auto t0 = std::chrono::steady_clock::now();
-    step_ = 0;
-    while (true) {
-      ++step_;
-      for (auto& block : blocks_) {
-        if (!block_active_[block.block_id]) continue;
-        block_active_[block.block_id] = 0;
-        b_compute(block);
-      }
-      communicate();
-      ++stats_.comm_rounds;
-      bool any = false;
-      for (const auto a : block_active_) any = any || (a != 0);
-      if (!env_.reducer->any(env_.rank, any)) break;
+  bool superstep() override {
+    for (auto& block : blocks_) {
+      if (!block_active_[block.block_id]) continue;
+      block_active_[block.block_id] = 0;
+      b_compute(block);
     }
-    const auto t1 = std::chrono::steady_clock::now();
-
-    stats_.seconds = std::chrono::duration<double>(t1 - t0).count();
-    stats_.supersteps = step_;
-    stats_.message_bytes = env_.exchange->total_bytes();
-    stats_.message_batches = env_.exchange->total_batches();
-    return stats_;
+    communicate();
+    ++stats_.comm_rounds;
+    bool any = false;
+    for (const auto a : block_active_) any = any || (a != 0);
+    return any;
   }
 
  private:
@@ -220,13 +182,10 @@ class BlockWorker {
     }
   }
 
-  core::detail::Env env_;
   std::vector<VertexT> vertices_;
   std::vector<Block> blocks_;
   std::vector<std::uint32_t> lidx_block_;
   std::vector<std::uint8_t> block_active_;
-  int step_ = 0;
-  runtime::RunStats stats_;
 
   std::optional<core::Combiner<MsgT>> combiner_;
   std::unordered_map<KeyT, MsgT> combine_staged_;

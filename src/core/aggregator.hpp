@@ -28,10 +28,24 @@ class Aggregator : public Channel {
         result_(combiner_.identity) {}
 
   /// Contribute a value to this superstep's global aggregate.
-  void add(const ValT& v) { partial_ = combiner_(partial_, v); }
+  void add(const ValT& v) {
+    if (par_.active()) {
+      par_.stage(v);
+      return;
+    }
+    partial_ = combiner_(partial_, v);
+  }
 
   /// The aggregate of all add() calls from the previous superstep.
   [[nodiscard]] const ValT& result() const noexcept { return result_; }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  /// Fold per-slot contributions in slot order — the exact sequential
+  /// fold sequence, so float aggregates stay bitwise identical.
+  void end_compute() override {
+    par_.replay([this](const ValT& v) { partial_ = combiner_(partial_, v); });
+  }
 
   void serialize() override {
     const int num_workers = w().num_workers();
@@ -54,6 +68,9 @@ class Aggregator : public Channel {
   Combiner<ValT> combiner_;
   ValT partial_;
   ValT result_;
+
+  // Parallel compute staging (see Channel::begin_compute).
+  detail::SlotStagedLog<ValT> par_;
 };
 
 }  // namespace pregel::core

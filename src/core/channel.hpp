@@ -6,8 +6,10 @@
 // inside each superstep (Fig. 4). Optimizations are implemented as
 // channels, so composing optimizations = allocating several channels.
 
+#include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "graph/distributed.hpp"
 #include "runtime/barrier.hpp"
@@ -30,6 +32,49 @@ struct Env {
 };
 
 inline thread_local Env* t_env = nullptr;
+
+/// Local index of the vertex the calling thread is currently computing.
+/// Thread-local so the parallel compute phase (DESIGN.md section 3) gives
+/// every compute thread its own implicit current vertex.
+inline thread_local std::uint32_t t_current_lidx = 0;
+
+/// Slot index of the calling thread inside the rank's ComputePool (0 for
+/// the rank thread / sequential mode). Channels key their per-thread
+/// staging by this.
+inline thread_local int t_compute_slot = 0;
+
+/// Per-compute-slot staging log for channels whose compute-time APIs
+/// append to shared state. open(T) in begin_compute(); while active(),
+/// stage(v) appends to the calling thread's slot; replay(fn) in
+/// end_compute() feeds every staged value to fn in slot order — the
+/// sequential vertex-order call sequence — and deactivates the log.
+template <typename T>
+class SlotStagedLog {
+ public:
+  void open(int num_slots) {
+    logs_.resize(static_cast<std::size_t>(num_slots));
+    active_ = true;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  void stage(const T& v) {
+    logs_[static_cast<std::size_t>(t_compute_slot)].push_back(v);
+  }
+
+  template <typename Fn>
+  void replay(Fn&& fn) {
+    active_ = false;
+    for (auto& log : logs_) {
+      for (const T& v : log) fn(v);
+      log.clear();  // keeps capacity for the next superstep
+    }
+  }
+
+ private:
+  bool active_ = false;
+  std::vector<std::vector<T>> logs_;
+};
 
 }  // namespace detail
 
@@ -62,6 +107,20 @@ class Channel {
   virtual void deserialize() = 0;
   /// Return true to request another communication round this superstep.
   virtual bool again() { return false; }
+
+  // ---- parallel compute phase (DESIGN.md section 3) ---------------------
+  // The worker brackets a chunked multi-thread compute phase between
+  // begin_compute(T) and end_compute(). In between, per-vertex channel
+  // APIs may be called concurrently from T threads; detail::t_compute_slot
+  // identifies the caller's slot. Channels whose staging is shared stage
+  // such calls per slot and replay them in slot order in end_compute() —
+  // chunks are contiguous and ascending, so the replayed op sequence is
+  // byte-for-byte the sequential one and results stay bitwise identical.
+
+  /// Enter parallel staging mode with `num_slots` compute threads.
+  virtual void begin_compute(int /*num_slots*/) {}
+  /// Merge per-slot staging (in slot order) and leave parallel mode.
+  virtual void end_compute() {}
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 

@@ -39,8 +39,20 @@ class CombinedMessage : public Channel {
 
   /// Send m to dst; values for the same destination are combined.
   void send_message(KeyT dst, const ValT& m) {
-    auto [it, inserted] = staged_.try_emplace(dst, m);
-    if (!inserted) it->second = combiner_(it->second, m);
+    if (par_.active()) {
+      par_.stage(Send{dst, m});
+      return;
+    }
+    stage(dst, m);
+  }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  /// Replay per-slot logs in slot order: the combining sequence is exactly
+  /// the sequential vertex-order one, so results (floating point included)
+  /// are bitwise identical to a single-thread run.
+  void end_compute() override {
+    par_.replay([this](const Send& s) { stage(s.dst, s.value); });
   }
 
   /// Combined value delivered to the current vertex (combiner identity if
@@ -102,6 +114,15 @@ class CombinedMessage : public Channel {
     std::uint32_t lidx;
     ValT value;
   };
+  struct Send {
+    KeyT dst;
+    ValT value;
+  };
+
+  void stage(KeyT dst, const ValT& m) {
+    auto [it, inserted] = staged_.try_emplace(dst, m);
+    if (!inserted) it->second = combiner_(it->second, m);
+  }
 
   Worker<VertexT>* worker_;
   Combiner<ValT> combiner_;
@@ -110,6 +131,9 @@ class CombinedMessage : public Channel {
   std::vector<std::uint8_t> has_;
   std::vector<std::uint32_t> touched_;
   std::vector<std::vector<Wire>> batch_;   ///< per-worker staging, reused
+
+  // Parallel compute staging (see Channel::begin_compute).
+  detail::SlotStagedLog<Send> par_;
 };
 
 }  // namespace pregel::core

@@ -28,8 +28,17 @@ class DirectMessage : public Channel {
 
   /// Queue a message for vertex `dst`, delivered next superstep.
   void send_message(KeyT dst, const ValT& m) {
-    staged_[static_cast<std::size_t>(w().owner_of(dst))].push_back(
-        Wire{w().local_of(dst), m});
+    if (par_.active()) {
+      par_.stage(Staged{dst, m});
+      return;
+    }
+    stage(dst, m);
+  }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  void end_compute() override {
+    par_.replay([this](const Staged& s) { stage(s.dst, s.value); });
   }
 
   /// Messages delivered to the vertex currently being computed.
@@ -78,11 +87,23 @@ class DirectMessage : public Channel {
     std::uint32_t lidx;  ///< receiver's local index (ids are 32-bit too)
     ValT value;
   };
+  struct Staged {
+    KeyT dst;
+    ValT value;
+  };
+
+  void stage(KeyT dst, const ValT& m) {
+    staged_[static_cast<std::size_t>(w().owner_of(dst))].push_back(
+        Wire{w().local_of(dst), m});
+  }
 
   Worker<VertexT>* worker_;
   std::vector<std::vector<Wire>> staged_;     ///< per destination worker
   std::vector<std::vector<ValT>> incoming_;   ///< per local vertex
   std::vector<std::uint32_t> touched_;        ///< lidxs to clear lazily
+
+  // Parallel compute staging (see Channel::begin_compute).
+  detail::SlotStagedLog<Staged> par_;
 };
 
 }  // namespace pregel::core

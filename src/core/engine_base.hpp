@@ -1,0 +1,113 @@
+#pragma once
+// EngineBase: the shared engine substrate (DESIGN.md section 2).
+//
+// All three engines — the channel-based Worker (paper Fig. 4), the
+// Pregel+-style PPWorker baseline and the Blogel-style BlockWorker
+// baseline — run the same outer loop: acquire the runtime Env, load the
+// rank's vertex slice, then repeat supersteps until a global quiescence
+// vote says no worker has active work, collecting wall-clock time and
+// exchange statistics at the end. EngineBase owns that loop; engines
+// implement prepare() (per-rank loading before the first superstep) and
+// superstep() (one superstep's compute + communication, returning whether
+// this rank still has active work).
+//
+// Construction happens inside launch(), which provides the Env through a
+// thread-local so user engine subclasses keep the paper's
+// default-constructor shape.
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/channel.hpp"  // detail::Env / t_env
+#include "graph/distributed.hpp"
+#include "runtime/stats.hpp"
+
+namespace pregel::core {
+
+class EngineBase {
+ public:
+  virtual ~EngineBase() = default;
+
+  EngineBase(const EngineBase&) = delete;
+  EngineBase& operator=(const EngineBase&) = delete;
+
+  // ---- identity ---------------------------------------------------------
+  [[nodiscard]] int rank() const noexcept { return env_.rank; }
+  [[nodiscard]] int num_workers() const noexcept {
+    return env_.dg->num_workers();
+  }
+  /// 1-based superstep number, as in Pregel.
+  [[nodiscard]] int step_num() const noexcept { return step_; }
+  [[nodiscard]] std::uint64_t get_vnum() const noexcept {
+    return env_.dg->num_vertices();
+  }
+  [[nodiscard]] std::uint64_t get_enum() const noexcept {
+    return env_.dg->num_edges();
+  }
+  [[nodiscard]] std::uint32_t num_local() const {
+    return env_.dg->num_local(env_.rank);
+  }
+  [[nodiscard]] const graph::DistributedGraph& dgraph() const noexcept {
+    return *env_.dg;
+  }
+
+  [[nodiscard]] const runtime::RunStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Drive the superstep loop to global quiescence. Collective: every rank
+  /// of the team calls run() on its own engine instance.
+  runtime::RunStats run() {
+    prepare();
+    env_.barrier->arrive_and_wait();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    step_ = 0;
+    while (true) {
+      ++step_;
+      const bool any_local_active = superstep();
+      if (!env_.reducer->any(env_.rank, any_local_active)) break;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    stats_.seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats_.supersteps = step_;
+    stats_.message_bytes = env_.exchange->total_bytes();
+    stats_.message_batches = env_.exchange->total_batches();
+    finish_stats();
+    return stats_;
+  }
+
+ protected:
+  /// Validates that construction happens inside launch() and captures the
+  /// rank's Env. `engine_name` personalizes the error message.
+  explicit EngineBase(const char* engine_name) {
+    if (detail::t_env == nullptr) {
+      throw std::logic_error(
+          std::string(engine_name) +
+          " must be constructed inside pregel::core::launch()");
+    }
+    env_ = *detail::t_env;
+  }
+
+  /// Per-rank loading before the first superstep (vertex slice, channel
+  /// initialization, block grouping, ...). Runs before the team-wide
+  /// start barrier.
+  virtual void prepare() = 0;
+
+  /// One superstep: compute + communication. Returns whether this rank
+  /// still has locally active work; the quiescence vote folds that across
+  /// the team.
+  virtual bool superstep() = 0;
+
+  /// Hook for engine-specific stats finalization after the loop.
+  virtual void finish_stats() {}
+
+  detail::Env env_;
+  int step_ = 0;
+  runtime::RunStats stats_;
+};
+
+}  // namespace pregel::core

@@ -25,6 +25,7 @@
 // per-edge messaging; bench/micro_channels compares them head to head.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -65,10 +66,12 @@ class MirrorScatter : public Channel {
   }
 
   /// Value the current vertex broadcasts to all its neighbors this
-  /// superstep.
+  /// superstep. add_edge() and set_message() only touch the calling
+  /// vertex's own slots (adj_[lidx] / vals_[lidx]), so parallel compute
+  /// threads need no per-slot staging in this channel.
   void set_message(const ValT& m) {
     vals_[w().current_local()] = m;
-    dirty_ = true;
+    dirty_.store(true, std::memory_order_relaxed);
   }
 
   [[nodiscard]] const ValT& get_message() const {
@@ -86,13 +89,13 @@ class MirrorScatter : public Channel {
     touched_.clear();
 
     const int num_workers = w().num_workers();
-    if (!dirty_) {
+    if (!dirty_.load(std::memory_order_relaxed)) {
       for (int to = 0; to < num_workers; ++to) {
         w().outbox(to).write<std::uint8_t>(kTagIdle);
       }
       return;
     }
-    dirty_ = false;
+    dirty_.store(false, std::memory_order_relaxed);
     if (!finalized_) finalize();
 
     for (int to = 0; to < num_workers; ++to) {
@@ -186,7 +189,7 @@ class MirrorScatter : public Channel {
   std::vector<ValT> vals_;
   std::vector<std::vector<KeyT>> adj_;   ///< pre-finalize staging
   std::vector<std::vector<Sender>> senders_;  ///< per peer, fixed order
-  bool dirty_ = false;
+  std::atomic<bool> dirty_{false};
   bool finalized_ = false;
 
   // Receiver side.

@@ -75,7 +75,20 @@ class Propagation : public Channel {
   void set_value(const ValT& m) {
     const std::uint32_t lidx = w().current_local();
     vals_[lidx] = m;
+    if (par_.active()) {
+      par_.stage(lidx);
+      return;
+    }
     push(lidx);
+  }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  /// Replay seed pushes in slot order so the BFS queue starts in the
+  /// sequential (vertex) order. add_edge() writes only per-vertex
+  /// adjacency and needs no staging.
+  void end_compute() override {
+    par_.replay([this](std::uint32_t lidx) { push(lidx); });
   }
 
   /// The converged value, readable the superstep after seeding.
@@ -181,6 +194,10 @@ class Propagation : public Channel {
     std::vector<std::uint32_t> touched;
   };
   std::vector<StagedPeer> staged_remote_;
+
+  // Parallel compute staging for the shared seed queue (see
+  // Channel::begin_compute).
+  detail::SlotStagedLog<std::uint32_t> par_;
 };
 
 }  // namespace pregel::core

@@ -71,12 +71,24 @@ class PropagationW : public Channel {
   void set_value(const ValT& m) {
     const std::uint32_t lidx = w().current_local();
     vals_[lidx] = m;
+    if (par_.active()) {
+      par_.stage(lidx);
+      return;
+    }
     push(lidx);
   }
 
   /// The converged value, readable the superstep after seeding.
   [[nodiscard]] const ValT& get_value() const {
     return vals_[w().current_local()];
+  }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  /// Replay seed pushes in slot order (sequential vertex order); see
+  /// Propagation::end_compute.
+  void end_compute() override {
+    par_.replay([this](std::uint32_t lidx) { push(lidx); });
   }
 
   void serialize() override {
@@ -180,6 +192,10 @@ class PropagationW : public Channel {
   std::vector<std::vector<LocalEdge>> local_adj_;
   std::vector<std::vector<RemoteEdge>> remote_adj_;
   std::vector<StagedPeer> staged_remote_;
+
+  // Parallel compute staging for the shared seed queue (see
+  // Channel::begin_compute).
+  detail::SlotStagedLog<std::uint32_t> par_;
 };
 
 }  // namespace pregel::core

@@ -48,8 +48,18 @@ class RequestRespond : public Channel {
   /// Request dst's attribute on behalf of the current vertex. The response
   /// is available through get_respond() in the next superstep.
   void add_request(KeyT dst) {
+    requested_dst_[w().current_local()] = dst;  // per-vertex slot: no race
+    if (par_.active()) {
+      par_.stage(dst);
+      return;
+    }
     requests_.push_back(dst);
-    requested_dst_[w().current_local()] = dst;
+  }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  void end_compute() override {
+    par_.replay([this](const KeyT dst) { requests_.push_back(dst); });
   }
 
   /// Response for the request the current vertex made last superstep.
@@ -207,6 +217,10 @@ class RequestRespond : public Channel {
 
   // Responder side.
   std::vector<std::vector<RespT>> pending_replies_;  ///< per requester worker
+
+  // Parallel compute staging for the shared request list (see
+  // Channel::begin_compute).
+  detail::SlotStagedLog<KeyT> par_;
 };
 
 }  // namespace pregel::core

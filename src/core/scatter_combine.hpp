@@ -17,6 +17,7 @@
 //     vertices' identifiers" the paper credits for the message-size drop.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -52,15 +53,26 @@ class ScatterCombine : public Channel {
       throw std::logic_error(
           "ScatterCombine: add_edge after the edge set was finalized");
     }
+    if (par_.active()) {
+      par_.stage(EdgeRec{w().current_local(), dst});
+      return;
+    }
     edges_.push_back(EdgeRec{w().current_local(), dst});
   }
 
   /// Set the value the current vertex scatters along all its edges this
   /// superstep. A vertex that does not call set_message keeps its previous
-  /// value (combiner identity initially).
+  /// value (combiner identity initially). Writes only the caller's own
+  /// per-vertex slot, so parallel compute threads need no staging here.
   void set_message(const ValT& m) {
     vals_[w().current_local()] = m;
-    dirty_ = true;
+    dirty_.store(true, std::memory_order_relaxed);
+  }
+
+  void begin_compute(int num_slots) override { par_.open(num_slots); }
+
+  void end_compute() override {
+    par_.replay([this](const EdgeRec& e) { edges_.push_back(e); });
   }
 
   /// Combined value from all in-edges, available the superstep after the
@@ -82,13 +94,13 @@ class ScatterCombine : public Channel {
     touched_.clear();
 
     const int num_workers = w().num_workers();
-    if (!dirty_) {
+    if (!dirty_.load(std::memory_order_relaxed)) {
       for (int to = 0; to < num_workers; ++to) {
         w().outbox(to).write<std::uint8_t>(kTagIdle);
       }
       return;
     }
-    dirty_ = false;
+    dirty_.store(false, std::memory_order_relaxed);
     if (!finalized_) finalize();
 
     // One linear scan over the pre-sorted edge array: runs of equal dst
@@ -200,8 +212,12 @@ class ScatterCombine : public Channel {
   std::vector<std::pair<std::size_t, std::size_t>> owner_range_;
   std::vector<std::uint32_t> unique_dsts_;
   std::vector<ValT> vals_;
-  bool dirty_ = false;
+  std::atomic<bool> dirty_{false};
   bool finalized_ = false;
+
+  // Parallel compute staging for the shared edge array (see
+  // Channel::begin_compute); set_message() needs none.
+  detail::SlotStagedLog<EdgeRec> par_;
 
   // Receiver side.
   std::vector<ValT> slot_;

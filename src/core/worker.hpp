@@ -11,6 +11,20 @@
 //     while any channel is active (globally):
 //       serialize all active channels -> exchange buffers -> deserialize
 //
+// The outer loop (superstep counter, quiescence vote, stats) lives in
+// EngineBase, shared with the PPWorker and BlockWorker baselines.
+//
+// Wire format: every channel payload travels in its own ChannelFrame lane
+// (runtime/exchange.hpp) — serialize/deserialize misalignment throws
+// FrameMismatchError instead of silently corrupting later channels, and
+// per-channel byte accounting comes from the frame lengths the exchange
+// patches in.
+//
+// Compute parallelism: PGCH_COMPUTE_THREADS (or set_compute_threads())
+// chunks the per-rank vertex loop across an intra-rank ComputePool; the
+// default of 1 preserves the exact sequential path. See DESIGN.md
+// section 3.
+//
 // Divergences from the paper's listing, both engine-internal:
 //  * channel activity is agreed on globally each round (a worker whose
 //    channel went quiet must still deserialize data peers sent it);
@@ -20,65 +34,45 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/channel.hpp"
+#include "core/engine_base.hpp"
 #include "core/types.hpp"
 #include "core/vertex.hpp"
 #include "graph/distributed.hpp"
+#include "runtime/compute_pool.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/team.hpp"
 
 namespace pregel::core {
 
-/// Non-template part of the engine: rank bookkeeping, channel registry,
-/// buffer access, id mapping. Channels talk to this interface.
-class WorkerBase {
+/// Channels-per-worker cap, shared with the exchange's per-channel lane
+/// accounting and with the std::uint64_t channel activity mask in
+/// Worker::communicate().
+inline constexpr int kMaxChannels = runtime::kMaxChannels;
+static_assert(kMaxChannels <= 64,
+              "the channel activity mask in communicate() is 64 bits wide");
+
+/// Non-template part of the channel engine: channel registry, buffer
+/// access, id mapping. Channels talk to this interface; the shared
+/// superstep/quiescence/stats loop lives in EngineBase.
+class WorkerBase : public EngineBase {
  public:
-  WorkerBase() {
-    if (detail::t_env == nullptr) {
-      throw std::logic_error(
-          "Worker must be constructed inside pregel::core::launch()");
-    }
-    env_ = *detail::t_env;
-  }
-  virtual ~WorkerBase() = default;
-
-  WorkerBase(const WorkerBase&) = delete;
-  WorkerBase& operator=(const WorkerBase&) = delete;
-
-  // ---- identity ---------------------------------------------------------
-  [[nodiscard]] int rank() const noexcept { return env_.rank; }
-  [[nodiscard]] int num_workers() const noexcept {
-    return env_.dg->num_workers();
-  }
-  /// 1-based superstep number, as in Pregel.
-  [[nodiscard]] int step_num() const noexcept { return step_; }
-  [[nodiscard]] std::uint64_t get_vnum() const noexcept {
-    return env_.dg->num_vertices();
-  }
-  [[nodiscard]] std::uint64_t get_enum() const noexcept {
-    return env_.dg->num_edges();
-  }
+  WorkerBase() : EngineBase("Worker") {}
 
   // ---- graph mapping ----------------------------------------------------
-  [[nodiscard]] const graph::DistributedGraph& dgraph() const noexcept {
-    return *env_.dg;
-  }
   [[nodiscard]] int owner_of(VertexId v) const { return env_.dg->owner(v); }
   [[nodiscard]] std::uint32_t local_of(VertexId v) const {
     return env_.dg->local_index(v);
   }
   [[nodiscard]] VertexId global_id(std::uint32_t lidx) const {
     return env_.dg->global_id(env_.rank, lidx);
-  }
-  [[nodiscard]] std::uint32_t num_local() const {
-    return env_.dg->num_local(env_.rank);
   }
 
   // ---- channel plumbing --------------------------------------------------
@@ -90,8 +84,9 @@ class WorkerBase {
   }
 
   void add_channel(Channel* c) {
-    if (channels_.size() >= 64) {
-      throw std::logic_error("at most 64 channels per worker");
+    if (channels_.size() >= static_cast<std::size_t>(kMaxChannels)) {
+      throw std::logic_error("at most " + std::to_string(kMaxChannels) +
+                             " channels per worker (kMaxChannels)");
     }
     channels_.push_back(c);
   }
@@ -99,24 +94,26 @@ class WorkerBase {
   /// Local index of the vertex currently being computed; per-vertex channel
   /// APIs (set_message, add_request, get_value, ...) use it implicitly —
   /// this is what lets the paper's APIs omit the source vertex argument.
+  /// Thread-local so each thread of a parallel compute phase has its own.
   [[nodiscard]] std::uint32_t current_local() const noexcept {
-    return current_lidx_;
+    return detail::t_current_lidx;
+  }
+
+  /// Slot index of the calling compute thread: 0 outside a parallel
+  /// compute phase, else the thread's stable ComputePool slot. Algorithms
+  /// with reusable compute-time scratch key it by this (scratch shared
+  /// across vertices must not be mutated unkeyed once
+  /// PGCH_COMPUTE_THREADS > 1).
+  [[nodiscard]] int compute_slot() const noexcept {
+    return detail::t_compute_slot;
   }
 
   /// Re-activate a local vertex (message arrival). Channels call this from
   /// deserialize(); it is how voting-to-halt is simulated (Section IV-B).
   virtual void activate_local(std::uint32_t lidx) = 0;
 
-  [[nodiscard]] const runtime::RunStats& stats() const noexcept {
-    return stats_;
-  }
-
  protected:
-  detail::Env env_;
   std::vector<Channel*> channels_;
-  int step_ = 0;
-  std::uint32_t current_lidx_ = 0;
-  runtime::RunStats stats_;
 };
 
 inline Channel::Channel(WorkerBase* worker, std::string name)
@@ -130,6 +127,8 @@ class Worker : public WorkerBase {
  public:
   using ValueT = typename VertexT::value_type;
 
+  Worker() : compute_threads_(runtime::compute_threads_from_env()) {}
+
   /// The algorithm kernel, executed once per active vertex per superstep.
   virtual void compute(VertexT& v) = 0;
 
@@ -141,6 +140,16 @@ class Worker : public WorkerBase {
   /// decisions must be based on globally consistent state (step_num(),
   /// aggregator results) so every rank transitions identically.
   virtual void begin_superstep() {}
+
+  /// Override the intra-rank compute parallelism (default: the
+  /// PGCH_COMPUTE_THREADS environment variable, else 1). Must be called
+  /// before run(); 1 restores the exact sequential compute path.
+  void set_compute_threads(int threads) {
+    compute_threads_ = threads > 1 ? threads : 1;
+  }
+  [[nodiscard]] int compute_threads() const noexcept {
+    return compute_threads_;
+  }
 
   [[nodiscard]] VertexT& local_vertex(std::uint32_t lidx) {
     return vertices_[lidx];
@@ -159,32 +168,21 @@ class Worker : public WorkerBase {
     for (auto& v : vertices_) fn(v);
   }
 
-  /// Drive the superstep loop to global quiescence. Collective: every rank
-  /// of the team calls run() on its own Worker instance.
-  runtime::RunStats run() {
+ protected:
+  void prepare() override {
     load_vertices();
     for (Channel* c : channels_) c->initialize();
-    env_.barrier->arrive_and_wait();
+  }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    step_ = 0;
-    while (true) {
-      ++step_;
-      begin_superstep();
-      compute_phase();
-      communicate();
-      const bool any_local_active = any_active_vertex();
-      const bool any_global_active =
-          env_.reducer->any(env_.rank, any_local_active);
-      if (!any_global_active) break;
-    }
-    const auto t1 = std::chrono::steady_clock::now();
+  bool superstep() override {
+    begin_superstep();
+    compute_phase();
+    communicate();
+    return any_active_vertex();
+  }
 
-    stats_.seconds = std::chrono::duration<double>(t1 - t0).count();
-    stats_.supersteps = step_;
-    stats_.message_bytes = env_.exchange->total_bytes();
-    stats_.message_batches = env_.exchange->total_batches();
-    return stats_;
+  void finish_stats() override {
+    stats_.frame_bytes = env_.exchange->frame_overhead_bytes(env_.rank);
   }
 
  private:
@@ -196,18 +194,48 @@ class Worker : public WorkerBase {
       v.id_ = global_id(lidx);
       v.edges_ = env_.dg->out(env_.rank, lidx);
       v.active_ = true;
-      current_lidx_ = lidx;
+      detail::t_current_lidx = lidx;
       init_vertex(v);
     }
   }
 
+  /// First vertex of `slot`'s contiguous chunk; chunks ascend with the
+  /// slot index, so replaying per-slot channel staging in slot order
+  /// reproduces the sequential (vertex-order) call sequence exactly.
+  static std::uint32_t chunk_begin(std::uint32_t n, int slots, int slot) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(n) * static_cast<std::uint32_t>(slot)) /
+        static_cast<std::uint32_t>(slots));
+  }
+
   void compute_phase() {
     const std::uint32_t n = static_cast<std::uint32_t>(vertices_.size());
-    for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
-      if (!vertices_[lidx].is_active()) continue;
-      current_lidx_ = lidx;
-      compute(vertices_[lidx]);
+    const int threads = compute_threads_;
+    if (threads <= 1 || n == 0) {
+      for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+        if (!vertices_[lidx].is_active()) continue;
+        detail::t_current_lidx = lidx;
+        compute(vertices_[lidx]);
+      }
+      return;
     }
+
+    if (!pool_ || pool_->slots() != threads) {
+      pool_ = std::make_unique<runtime::ComputePool>(threads);
+    }
+    for (Channel* c : channels_) c->begin_compute(threads);
+    pool_->run([&](int slot) {
+      detail::t_compute_slot = slot;
+      const std::uint32_t begin = chunk_begin(n, threads, slot);
+      const std::uint32_t end = chunk_begin(n, threads, slot + 1);
+      for (std::uint32_t lidx = begin; lidx < end; ++lidx) {
+        if (!vertices_[lidx].is_active()) continue;
+        detail::t_current_lidx = lidx;
+        compute(vertices_[lidx]);
+      }
+      detail::t_compute_slot = 0;
+    });
+    for (Channel* c : channels_) c->end_compute();
   }
 
   [[nodiscard]] bool any_active_vertex() const {
@@ -219,7 +247,9 @@ class Worker : public WorkerBase {
 
   /// The communication loop of Fig. 4: all channels start the superstep
   /// active; a channel remains in the loop while any worker's again() says
-  /// so. Every round ends with one collective buffer exchange.
+  /// so. Every round ends with one collective buffer exchange. Each active
+  /// channel's payloads ride in its own frame lane; the exchange accounts
+  /// the payload bytes per channel and validates the reads.
   void communicate() {
     std::uint64_t local_mask = 0;
     for (std::size_t i = 0; i < channels_.size(); ++i) {
@@ -234,10 +264,10 @@ class Worker : public WorkerBase {
 
       for (std::size_t i = 0; i < channels_.size(); ++i) {
         if ((mask >> i) & 1u) {
-          const std::uint64_t before = env_.exchange->outbox_bytes(env_.rank);
+          env_.exchange->begin_frames(env_.rank, static_cast<int>(i));
           channels_[i]->serialize();
-          const std::uint64_t after = env_.exchange->outbox_bytes(env_.rank);
-          stats_.bytes_by_channel[channels_[i]->name()] += after - before;
+          stats_.bytes_by_channel[channels_[i]->name()] +=
+              env_.exchange->end_frames(env_.rank, static_cast<int>(i));
         }
       }
       env_.exchange->exchange(env_.rank);
@@ -246,7 +276,11 @@ class Worker : public WorkerBase {
       local_mask = 0;
       for (std::size_t i = 0; i < channels_.size(); ++i) {
         if ((mask >> i) & 1u) {
+          env_.exchange->open_frames(env_.rank, static_cast<int>(i),
+                                     channels_[i]->name());
           channels_[i]->deserialize();
+          env_.exchange->close_frames(env_.rank, static_cast<int>(i),
+                                      channels_[i]->name());
           if (channels_[i]->again()) local_mask |= (std::uint64_t{1} << i);
         }
       }
@@ -254,6 +288,8 @@ class Worker : public WorkerBase {
   }
 
   std::vector<VertexT> vertices_;
+  int compute_threads_ = 1;
+  std::unique_ptr<runtime::ComputePool> pool_;
 };
 
 // ---------------------------------------------------------------------------
@@ -266,7 +302,7 @@ class Worker : public WorkerBase {
 /// the run; it executes concurrently across ranks, so it must only write
 /// rank-disjoint locations (e.g. index a global array by vertex id).
 /// Returns merged statistics: max wall time across ranks, global byte
-/// counts, per-channel bytes summed over ranks.
+/// counts, per-channel and frame-overhead bytes summed over ranks.
 template <typename WorkerT>
 runtime::RunStats launch(
     const graph::DistributedGraph& dg,
@@ -293,6 +329,7 @@ runtime::RunStats launch(
   for (int r = 1; r < num_workers; ++r) {
     const auto& s = per_rank[static_cast<std::size_t>(r)];
     merged.seconds = std::max(merged.seconds, s.seconds);
+    merged.frame_bytes += s.frame_bytes;
     for (const auto& [name, bytes] : s.bytes_by_channel) {
       merged.bytes_by_channel[name] += bytes;
     }

@@ -23,7 +23,6 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -33,7 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/channel.hpp"  // detail::Env / t_env (shared runtime plumbing)
+#include "core/engine_base.hpp"
 #include "core/types.hpp"
 #include "core/vertex.hpp"
 #include "runtime/stats.hpp"
@@ -55,16 +54,11 @@ inline constexpr int kNumAggSlots = 4;
 template <typename VertexT, typename MsgT, typename RespT = MsgT>
   requires runtime::TriviallySerializable<MsgT> &&
            runtime::TriviallySerializable<RespT>
-class PPWorker {
+class PPWorker : public core::EngineBase {
  public:
   using ValueT = typename VertexT::value_type;
 
-  PPWorker() {
-    if (core::detail::t_env == nullptr) {
-      throw std::logic_error(
-          "PPWorker must be constructed inside pregel::core::launch()");
-    }
-    env_ = *core::detail::t_env;
+  PPWorker() : core::EngineBase("PPWorker") {
     const auto workers = static_cast<std::size_t>(num_workers());
     staged_.resize(workers);
     staged_ghost_.resize(workers);
@@ -75,10 +69,6 @@ class PPWorker {
     incoming_.resize(num_local());
     ghost_neighbors_.resize(num_local());
   }
-  virtual ~PPWorker() = default;
-
-  PPWorker(const PPWorker&) = delete;
-  PPWorker& operator=(const PPWorker&) = delete;
 
   // ---- the user program --------------------------------------------------
 
@@ -104,19 +94,6 @@ class PPWorker {
   void enable_ghost(std::uint32_t degree_threshold) {
     ghost_ = true;
     ghost_threshold_ = degree_threshold;
-  }
-
-  // ---- identity ------------------------------------------------------------
-  [[nodiscard]] int rank() const noexcept { return env_.rank; }
-  [[nodiscard]] int num_workers() const noexcept {
-    return env_.dg->num_workers();
-  }
-  [[nodiscard]] int step_num() const noexcept { return step_; }
-  [[nodiscard]] std::uint64_t get_vnum() const noexcept {
-    return env_.dg->num_vertices();
-  }
-  [[nodiscard]] std::uint32_t num_local() const {
-    return env_.dg->num_local(env_.rank);
   }
 
   // ---- messaging -----------------------------------------------------------
@@ -182,39 +159,22 @@ class PPWorker {
     for (auto& v : vertices_) fn(v);
   }
 
-  [[nodiscard]] const runtime::RunStats& stats() const noexcept {
-    return stats_;
-  }
+ protected:
+  // ---- one superstep (EngineBase drives the loop) ---------------------------
 
-  // ---- the superstep loop ----------------------------------------------------
+  void prepare() override { load_vertices(); }
 
-  runtime::RunStats run() {
-    load_vertices();
-    env_.barrier->arrive_and_wait();
-
-    const auto t0 = std::chrono::steady_clock::now();
-    step_ = 0;
-    while (true) {
-      ++step_;
-      begin_superstep();
-      compute_phase();
-      message_round();
-      ++stats_.comm_rounds;
-      if (reqresp_) {
-        request_round();
-        response_round();
-        stats_.comm_rounds += 2;
-      }
-      const bool any_local = any_active_vertex();
-      if (!env_.reducer->any(env_.rank, any_local)) break;
+  bool superstep() override {
+    begin_superstep();
+    compute_phase();
+    message_round();
+    ++stats_.comm_rounds;
+    if (reqresp_) {
+      request_round();
+      response_round();
+      stats_.comm_rounds += 2;
     }
-    const auto t1 = std::chrono::steady_clock::now();
-
-    stats_.seconds = std::chrono::duration<double>(t1 - t0).count();
-    stats_.supersteps = step_;
-    stats_.message_bytes = env_.exchange->total_bytes();
-    stats_.message_batches = env_.exchange->total_batches();
-    return stats_;
+    return any_active_vertex();
   }
 
  private:
@@ -458,10 +418,7 @@ class PPWorker {
     RespT value;
   };
 
-  core::detail::Env env_;
   std::vector<VertexT> vertices_;
-  int step_ = 0;
-  runtime::RunStats stats_;
 
   // Messaging state.
   std::optional<core::Combiner<MsgT>> combiner_;

@@ -4,16 +4,18 @@
 // writes its outbox buffers, the exchange hands them to the peer, and the
 // peer reads them front-to-back.
 //
-// The format is untyped: writers and readers must agree on the sequence of
-// operations (channels are registered in identical order on every worker,
-// so the sequence is aligned by construction; see core/worker.hpp).
+// Framing (DESIGN.md section 1): the exchange wraps each channel's payload
+// in a ChannelFrame header and bounds the reader with a read limit, so a
+// channel that reads past its own payload throws ProtocolError instead of
+// silently consuming the next channel's bytes.
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace pregel::runtime {
@@ -23,32 +25,85 @@ template <typename T>
 concept TriviallySerializable =
     std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
 
-/// Growable byte buffer with a read cursor.
+/// Raised when reads and writes disagree about the byte stream: reading
+/// past the end of a buffer, or past the active frame limit. The framed
+/// exchange protocol refines this into FrameMismatchError (exchange.hpp).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Growable byte buffer with a read cursor and an optional read limit.
 ///
 /// Writing appends at the end; reading consumes from the front. `rewind()`
-/// resets the cursor (used when a buffer flips from outbox to inbox),
-/// `clear()` also drops the contents (used when it flips back to outbox).
+/// resets the cursor (used when a buffer flips from outbox to inbox);
+/// `clear()` also drops the contents (used when it flips back to outbox)
+/// but KEEPS the allocation, so round buffers reach a high-water capacity
+/// once and stop reallocating. `shrink()` releases memory explicitly.
 class Buffer {
  public:
   Buffer() = default;
 
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(const Buffer&) = default;
+  Buffer& operator=(const Buffer&) = default;
+
+  /// Drop contents and reset the cursor; capacity is preserved.
   void clear() noexcept {
     data_.clear();
     read_pos_ = 0;
+    read_limit_ = kNoLimit;
   }
 
-  void rewind() noexcept { read_pos_ = 0; }
+  /// Release the allocation (explicit memory give-back; clear() never
+  /// shrinks).
+  void shrink() {
+    data_.clear();
+    data_.shrink_to_fit();
+    read_pos_ = 0;
+    read_limit_ = kNoLimit;
+  }
+
+  void rewind() noexcept {
+    read_pos_ = 0;
+    read_limit_ = kNoLimit;
+  }
+
+  /// Move-based swap: exchanges contents, cursors and limits without
+  /// copying bytes.
+  void swap(Buffer& other) noexcept {
+    data_.swap(other.data_);
+    std::swap(read_pos_, other.read_pos_);
+    std::swap(read_limit_, other.read_limit_);
+  }
+  friend void swap(Buffer& a, Buffer& b) noexcept { a.swap(b); }
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return data_.capacity();
+  }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
-  /// Bytes not yet consumed by read().
+  /// Bytes not yet consumed by read() (bounded by the active read limit).
   [[nodiscard]] std::size_t remaining() const noexcept {
-    return data_.size() - read_pos_;
+    return readable_end() - read_pos_;
   }
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
 
+  [[nodiscard]] std::size_t read_pos() const noexcept { return read_pos_; }
+
   void reserve(std::size_t n) { data_.reserve(n); }
+
+  // ---- read limits (frame boundaries) -----------------------------------
+
+  /// Forbid reads past absolute position `end` until clear_read_limit().
+  /// The framed exchange sets this to the end of the current channel frame.
+  void set_read_limit(std::size_t end) noexcept { read_limit_ = end; }
+  void clear_read_limit() noexcept { read_limit_ = kNoLimit; }
+  [[nodiscard]] bool has_read_limit() const noexcept {
+    return read_limit_ != kNoLimit;
+  }
 
   // ---- scalar I/O -------------------------------------------------------
 
@@ -60,7 +115,7 @@ class Buffer {
 
   template <TriviallySerializable T>
   T read() {
-    assert(remaining() >= sizeof(T) && "Buffer underflow");
+    check_readable(sizeof(T));
     T v;
     std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
     read_pos_ += sizeof(T);
@@ -69,7 +124,7 @@ class Buffer {
 
   template <TriviallySerializable T>
   [[nodiscard]] T peek() const {
-    assert(remaining() >= sizeof(T) && "Buffer underflow");
+    check_readable(sizeof(T));
     T v;
     std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
     return v;
@@ -83,7 +138,7 @@ class Buffer {
   }
 
   void read_bytes(void* p, std::size_t n) {
-    assert(remaining() >= n && "Buffer underflow");
+    check_readable(n);
     std::memcpy(p, data_.data() + read_pos_, n);
     read_pos_ += n;
   }
@@ -98,6 +153,7 @@ class Buffer {
   template <TriviallySerializable T>
   std::vector<T> read_vector() {
     const auto n = read<std::uint32_t>();
+    check_readable(std::size_t{n} * sizeof(T));
     std::vector<T> v(n);
     if (n != 0) read_bytes(v.data(), std::size_t{n} * sizeof(T));
     return v;
@@ -110,6 +166,7 @@ class Buffer {
 
   std::string read_string() {
     const auto n = read<std::uint32_t>();
+    check_readable(n);
     std::string s(n, '\0');
     if (n != 0) read_bytes(s.data(), n);
     return s;
@@ -125,15 +182,35 @@ class Buffer {
   }
 
   void patch_u32(std::size_t offset, std::uint32_t value) {
-    assert(offset + sizeof(value) <= data_.size());
+    if (offset + sizeof(value) > data_.size()) {
+      throw ProtocolError("Buffer: patch_u32 past end of buffer");
+    }
     std::memcpy(data_.data() + offset, &value, sizeof(value));
   }
 
   [[nodiscard]] const std::byte* data() const noexcept { return data_.data(); }
 
  private:
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t readable_end() const noexcept {
+    return read_limit_ < data_.size() ? read_limit_ : data_.size();
+  }
+
+  void check_readable(std::size_t n) const {
+    if (read_pos_ + n > data_.size()) {
+      throw ProtocolError("Buffer: read past end of buffer");
+    }
+    if (read_pos_ + n > read_limit_) {
+      throw ProtocolError(
+          "Buffer: read past frame boundary (channel read more than its "
+          "frame holds)");
+    }
+  }
+
   std::vector<std::byte> data_;
   std::size_t read_pos_ = 0;
+  std::size_t read_limit_ = kNoLimit;
 };
 
 }  // namespace pregel::runtime

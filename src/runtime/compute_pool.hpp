@@ -1,0 +1,133 @@
+#pragma once
+// ComputePool: a small persistent thread pool for the intra-rank parallel
+// compute phase (PGCH_COMPUTE_THREADS, see DESIGN.md section 3).
+//
+// One pool belongs to exactly one worker rank. run(fn) executes fn(slot)
+// for every slot in [0, slots): slot 0 runs on the calling (rank) thread,
+// slots 1.. run on the pool's persistent threads; run() returns after all
+// slots finish and rethrows the first exception any slot raised. Slots are
+// stable across run() calls, so callers may key per-thread staging by slot
+// index and rely on a deterministic slot -> chunk mapping.
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pregel::runtime {
+
+/// Intra-rank compute parallelism requested via the PGCH_COMPUTE_THREADS
+/// environment variable (unset / <= 1 = sequential compute phase). Read
+/// per call so tests and launch-time configuration can override it.
+inline int compute_threads_from_env() {
+  if (const char* env = std::getenv("PGCH_COMPUTE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 1) return n;
+  }
+  return 1;
+}
+
+class ComputePool {
+ public:
+  /// A pool with `slots` total slots (slots - 1 spawned threads).
+  explicit ComputePool(int slots) : slots_(slots) {
+    if (slots < 2) {
+      throw std::invalid_argument("ComputePool: need at least 2 slots");
+    }
+    errors_.resize(static_cast<std::size_t>(slots));
+    threads_.reserve(static_cast<std::size_t>(slots - 1));
+    for (int slot = 1; slot < slots; ++slot) {
+      threads_.emplace_back([this, slot] { worker_loop(slot); });
+    }
+  }
+
+  ~ComputePool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  [[nodiscard]] int slots() const noexcept { return slots_; }
+
+  /// Run fn(slot) on every slot; the caller executes slot 0. Rethrows the
+  /// first exception (lowest slot) after all slots finished.
+  void run(const std::function<void(int)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &fn;
+      pending_ = slots_ - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+
+    try {
+      fn(0);
+    } catch (...) {
+      errors_[0] = std::current_exception();
+    }
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      job_ = nullptr;
+    }
+    for (auto& e : errors_) {
+      if (e) {
+        const std::exception_ptr err = e;
+        for (auto& clear : errors_) clear = nullptr;
+        std::rethrow_exception(err);
+      }
+    }
+  }
+
+ private:
+  void worker_loop(int slot) {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        job = job_;
+      }
+      try {
+        (*job)(slot);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(slot)] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  const int slots_;
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pregel::runtime

@@ -8,11 +8,21 @@
 // contents were consumed one full round ago) are cleared, and the new
 // inboxes are rewound for reading. After exchange() returns, channel
 // deserialize() reads the inboxes.
+//
+// Framed wire protocol (DESIGN.md section 1): each channel's payload in
+// each outbox is wrapped in a ChannelFrame{channel_id, byte_len} header.
+// The engine brackets a channel's serialize() between begin_frames() /
+// end_frames() — which write and patch the headers and account the payload
+// bytes to the channel — and its deserialize() between open_frames() /
+// close_frames() — which validate the header and enforce that the channel
+// consumes exactly its own payload. Misaligned reads therefore throw
+// FrameMismatchError instead of silently corrupting later channels.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +30,26 @@
 #include "runtime/buffer.hpp"
 
 namespace pregel::runtime {
+
+/// Hard cap on channels per worker. Shared by the exchange's per-channel
+/// byte accounting and the engine's 64-bit channel activity mask
+/// (core/worker.hpp) — raising it past 64 requires widening that mask.
+inline constexpr int kMaxChannels = 64;
+
+/// Per-payload frame header of the framed wire protocol.
+struct ChannelFrame {
+  std::uint32_t channel_id;  ///< registration index of the writing channel
+  std::uint32_t byte_len;    ///< payload bytes that follow this header
+};
+static_assert(sizeof(ChannelFrame) == 8);
+
+/// A channel violated the framed wire protocol: wrong channel's frame at
+/// the read cursor, or a deserialize() that consumed fewer/more bytes than
+/// the peer's serialize() produced.
+class FrameMismatchError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
 
 /// Simulated per-worker network bandwidth in MB/s, read once from the
 /// PGCH_SIM_NET_MBPS environment variable (0 / unset = disabled).
@@ -48,7 +78,14 @@ class BufferExchange {
         mat_a_(static_cast<std::size_t>(num_workers) * num_workers),
         mat_b_(static_cast<std::size_t>(num_workers) * num_workers),
         out_(&mat_a_),
-        in_(&mat_b_) {}
+        in_(&mat_b_),
+        lanes_(static_cast<std::size_t>(num_workers)) {
+    for (auto& lane : lanes_) {
+      lane.write_header_at.assign(static_cast<std::size_t>(num_workers), 0);
+      lane.read_frame_end.assign(static_cast<std::size_t>(num_workers), 0);
+      lane.channel_payload_bytes.assign(kMaxChannels, 0);
+    }
+  }
 
   BufferExchange(const BufferExchange&) = delete;
   BufferExchange& operator=(const BufferExchange&) = delete;
@@ -62,6 +99,112 @@ class BufferExchange {
   /// recent exchange.
   Buffer& inbox(int to, int from) { return (*in_)[index(from, to)]; }
 
+  // ---- framed wire protocol (write side) --------------------------------
+  // Only the owning rank may call its own frame functions; the per-rank
+  // lane state makes them safe to call concurrently across ranks.
+
+  /// Open channel `channel_id`'s frame in every outbox of `from`. The
+  /// channel's serialize() then appends its payloads; end_frames() patches
+  /// the lengths in.
+  void begin_frames(int from, int channel_id) {
+    Lane& lane = lanes_[static_cast<std::size_t>(from)];
+    if (lane.open_write_channel >= 0) {
+      throw FrameMismatchError(
+          "BufferExchange: begin_frames while another channel's frame is "
+          "open");
+    }
+    check_channel_id(channel_id);
+    for (int to = 0; to < num_workers_; ++to) {
+      Buffer& out = outbox(from, to);
+      lane.write_header_at[static_cast<std::size_t>(to)] = out.size();
+      out.write(ChannelFrame{static_cast<std::uint32_t>(channel_id), 0});
+    }
+    lane.open_write_channel = channel_id;
+  }
+
+  /// Close the open frame: patch byte_len into every header, account the
+  /// payload bytes to the channel, and return them (the engine attributes
+  /// them to the channel's name in RunStats).
+  std::uint64_t end_frames(int from, int channel_id) {
+    Lane& lane = lanes_[static_cast<std::size_t>(from)];
+    if (lane.open_write_channel != channel_id) {
+      throw FrameMismatchError(
+          "BufferExchange: end_frames does not match the open frame");
+    }
+    std::uint64_t payload_total = 0;
+    for (int to = 0; to < num_workers_; ++to) {
+      Buffer& out = outbox(from, to);
+      const std::size_t header_at =
+          lane.write_header_at[static_cast<std::size_t>(to)];
+      const std::size_t payload = out.size() - header_at - sizeof(ChannelFrame);
+      out.patch_u32(header_at + sizeof(std::uint32_t),
+                    static_cast<std::uint32_t>(payload));
+      payload_total += payload;
+    }
+    lane.channel_payload_bytes[static_cast<std::size_t>(channel_id)] +=
+        payload_total;
+    lane.frame_overhead_bytes +=
+        static_cast<std::uint64_t>(num_workers_) * sizeof(ChannelFrame);
+    lane.open_write_channel = -1;
+    return payload_total;
+  }
+
+  // ---- framed wire protocol (read side) ---------------------------------
+
+  /// Validate and consume channel `channel_id`'s frame header in every
+  /// inbox of `to`, and bound each inbox's reader to the frame payload.
+  /// Throws FrameMismatchError if a different channel's frame (or a
+  /// truncated stream) is at the cursor — the loud failure that replaces
+  /// the old silent misalignment.
+  void open_frames(int to, int channel_id, const std::string& channel_name) {
+    Lane& lane = lanes_[static_cast<std::size_t>(to)];
+    for (int from = 0; from < num_workers_; ++from) {
+      Buffer& in = inbox(to, from);
+      ChannelFrame frame{};
+      try {
+        frame = in.read<ChannelFrame>();
+      } catch (const ProtocolError&) {
+        throw FrameMismatchError(
+            "frame protocol: inbox exhausted where channel '" + channel_name +
+            "' (id " + std::to_string(channel_id) +
+            ") expected a frame header — an earlier channel over- or "
+            "under-read its frame");
+      }
+      if (frame.channel_id != static_cast<std::uint32_t>(channel_id)) {
+        throw FrameMismatchError(
+            "frame protocol: channel '" + channel_name + "' (id " +
+            std::to_string(channel_id) + ") found a frame of channel id " +
+            std::to_string(frame.channel_id) +
+            " at the read cursor — serialize/deserialize schedules diverged");
+      }
+      const std::size_t frame_end = in.read_pos() + frame.byte_len;
+      lane.read_frame_end[static_cast<std::size_t>(from)] = frame_end;
+      in.set_read_limit(frame_end);
+    }
+  }
+
+  /// Verify the channel consumed exactly its payload in every inbox and
+  /// lift the read limits. Throws FrameMismatchError on under-read (the
+  /// over-read case already threw inside deserialize via the read limit).
+  void close_frames(int to, int channel_id, const std::string& channel_name) {
+    Lane& lane = lanes_[static_cast<std::size_t>(to)];
+    for (int from = 0; from < num_workers_; ++from) {
+      Buffer& in = inbox(to, from);
+      const std::size_t expected =
+          lane.read_frame_end[static_cast<std::size_t>(from)];
+      if (in.read_pos() != expected) {
+        throw FrameMismatchError(
+            "frame protocol: channel '" + channel_name + "' (id " +
+            std::to_string(channel_id) + ") consumed " +
+            std::to_string(in.read_pos()) + " bytes of a frame ending at " +
+            std::to_string(expected) +
+            " — deserialize() must read exactly what the peer's serialize() "
+            "wrote");
+      }
+      in.clear_read_limit();
+    }
+  }
+
   /// Collective: all workers must call. Swaps outboxes and inboxes.
   void exchange(int /*rank*/) {
     barrier_.arrive_and_wait([this] {
@@ -72,7 +215,8 @@ class BufferExchange {
       }
       simulate_network_transit();
       std::swap(out_, in_);
-      // New outboxes carry data consumed a full round ago; recycle them.
+      // New outboxes carry data consumed a full round ago; recycle them
+      // (clear() keeps capacity, so steady-state rounds do not reallocate).
       for (Buffer& b : *out_) b.clear();
       for (Buffer& b : *in_) b.rewind();
       ++rounds_;
@@ -92,23 +236,48 @@ class BufferExchange {
   }
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
 
+  /// Payload bytes rank `from` shipped on channel `channel_id` (frame
+  /// headers excluded), accumulated by end_frames().
+  [[nodiscard]] std::uint64_t channel_bytes(int from, int channel_id) const {
+    check_channel_id(channel_id);
+    return lanes_[static_cast<std::size_t>(from)]
+        .channel_payload_bytes[static_cast<std::size_t>(channel_id)];
+  }
+
+  /// Frame-header bytes rank `from` shipped (protocol overhead of the
+  /// framed wire format).
+  [[nodiscard]] std::uint64_t frame_overhead_bytes(int from) const {
+    return lanes_[static_cast<std::size_t>(from)].frame_overhead_bytes;
+  }
+
   void reset_stats() noexcept {
     total_bytes_ = 0;
     total_batches_ = 0;
     rounds_ = 0;
-  }
-
-  /// Sum of current outbox sizes written by `from` (used by engines to
-  /// attribute bytes to the channel that just serialized).
-  [[nodiscard]] std::uint64_t outbox_bytes(int from) const {
-    std::uint64_t n = 0;
-    for (int to = 0; to < num_workers_; ++to) {
-      n += (*out_)[index(from, to)].size();
+    for (auto& lane : lanes_) {
+      std::fill(lane.channel_payload_bytes.begin(),
+                lane.channel_payload_bytes.end(), 0);
+      lane.frame_overhead_bytes = 0;
     }
-    return n;
   }
 
  private:
+  /// Per-rank frame bookkeeping. Each rank only ever touches its own lane,
+  /// so the frame API needs no locking; padded to avoid false sharing.
+  struct alignas(64) Lane {
+    std::vector<std::size_t> write_header_at;  ///< per peer, open frame
+    std::vector<std::size_t> read_frame_end;   ///< per peer, open frame
+    std::vector<std::uint64_t> channel_payload_bytes;  ///< cumulative
+    std::uint64_t frame_overhead_bytes = 0;
+    int open_write_channel = -1;
+  };
+
+  static void check_channel_id(int channel_id) {
+    if (channel_id < 0 || channel_id >= kMaxChannels) {
+      throw FrameMismatchError("BufferExchange: channel id out of range");
+    }
+  }
+
   [[nodiscard]] std::size_t index(int from, int to) const noexcept {
     return static_cast<std::size_t>(from) * num_workers_ + to;
   }
@@ -142,6 +311,7 @@ class BufferExchange {
   std::vector<Buffer> mat_b_;
   std::vector<Buffer>* out_;
   std::vector<Buffer>* in_;
+  std::vector<Lane> lanes_;
 
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_batches_ = 0;

@@ -20,6 +20,10 @@ std::string RunStats::detailed() const {
     os << "  channel " << name << ": " << std::fixed << std::setprecision(2)
        << static_cast<double>(bytes) / (1024.0 * 1024.0) << " MB\n";
   }
+  if (frame_bytes != 0) {
+    os << "  frame overhead: " << std::fixed << std::setprecision(2)
+       << static_cast<double>(frame_bytes) / (1024.0 * 1024.0) << " MB\n";
+  }
   return os.str();
 }
 

@@ -17,7 +17,13 @@ struct RunStats {
   std::uint64_t message_bytes = 0;   ///< total bytes through the exchange
   std::uint64_t message_batches = 0; ///< non-empty (src,dst) buffers moved
 
-  /// Bytes attributed to each named channel (channel-engine runs only).
+  /// Frame-header bytes of the framed wire protocol (channel-engine runs
+  /// only; protocol overhead, not attributed to any channel). Invariant:
+  /// sum(bytes_by_channel) + frame_bytes == message_bytes.
+  std::uint64_t frame_bytes = 0;
+
+  /// Payload bytes attributed to each named channel (channel-engine runs
+  /// only), as accounted by the exchange's frame lengths.
   std::map<std::string, std::uint64_t> bytes_by_channel;
 
   [[nodiscard]] double message_mb() const {

@@ -391,7 +391,10 @@ TEST(Engine, PerChannelByteAccountingIsConsistent) {
   for (const auto& [name, bytes] : stats.bytes_by_channel) {
     channel_total += bytes;
   }
-  EXPECT_EQ(channel_total, stats.message_bytes);
+  // Every byte through the exchange is either some channel's framed
+  // payload or a frame header — nothing unaccounted.
+  EXPECT_EQ(channel_total + stats.frame_bytes, stats.message_bytes);
+  EXPECT_GT(stats.frame_bytes, 0u);
   EXPECT_GT(stats.message_bytes, 0u);
 }
 
