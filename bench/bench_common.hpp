@@ -9,8 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <random>
 #include <string>
@@ -18,12 +20,15 @@
 
 #include "algorithms/runner.hpp"
 #include "algorithms/scc.hpp"
+#include "graph/csr.hpp"
 #include "graph/distributed.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "graph/partition.hpp"
 
 namespace bench {
 
+using pregel::graph::CsrGraph;
 using pregel::graph::DistributedGraph;
 using pregel::graph::Graph;
 
@@ -62,52 +67,97 @@ inline std::uint32_t scaled(std::uint32_t base) {
 }
 
 // ---- dataset stand-ins (cached per binary) --------------------------------
+//
+// Every dataset is a finalized CsrGraph. A real dataset can replace any
+// stand-in without recompiling: set PGCH_DATASET_<NAME>=<path> (NAME in
+// caps, e.g. PGCH_DATASET_WIKIPEDIA=/data/wiki.bin) to a binary snapshot
+// or an edge-list text file (tools/graph_convert builds snapshots).
+
+/// Symmetrize a finalized dataset (round-trips through the builder; done
+/// once per binary at dataset-build time).
+inline CsrGraph symmetrized(const CsrGraph& g) {
+  return g.to_graph().symmetrized().finalize();
+}
+
+/// Resolve dataset `name`: the PGCH_DATASET_<NAME> override when set
+/// (loaded via graph::load_any), else the generated stand-in, finalized.
+/// Datasets whose consumers require undirected input pass
+/// `symmetrize_override` so a raw directed download gets the same
+/// normalization the generated stand-in bakes in.
+inline CsrGraph make_dataset(const std::string& name,
+                             const std::function<Graph()>& generate,
+                             bool symmetrize_override = false) {
+  std::string env = "PGCH_DATASET_";
+  for (const char c : name) {
+    env += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (const char* path = std::getenv(env.c_str())) {
+    const CsrGraph g = pregel::graph::load_any(path);
+    return symmetrize_override ? symmetrized(g) : g;
+  }
+  return generate().finalize();
+}
 
 /// Wikipedia stand-in: skewed directed web-like graph.
-inline const Graph& wikipedia_graph() {
-  static const Graph g = pregel::graph::rmat(
-      {.num_vertices = scaled(1u << 17), .num_edges = scaled(10u << 17),
-       .seed = 101});
+inline const CsrGraph& wikipedia_graph() {
+  static const CsrGraph g = make_dataset("wikipedia", [] {
+    return pregel::graph::rmat({.num_vertices = scaled(1u << 17),
+                                .num_edges = scaled(10u << 17),
+                                .seed = 101});
+  });
   return g;
 }
 
 /// WebUK stand-in: bigger, denser web crawl.
-inline const Graph& webuk_graph() {
-  static const Graph g = pregel::graph::rmat(
-      {.num_vertices = scaled(1u << 18), .num_edges = scaled(16u << 18),
-       .seed = 102});
+inline const CsrGraph& webuk_graph() {
+  static const CsrGraph g = make_dataset("webuk", [] {
+    return pregel::graph::rmat({.num_vertices = scaled(1u << 18),
+                                .num_edges = scaled(16u << 18),
+                                .seed = 102});
+  });
   return g;
 }
 
 /// Facebook stand-in: sparse undirected social graph (avg deg ~3.1).
-inline const Graph& facebook_graph() {
-  static const Graph g =
-      pregel::graph::random_undirected(scaled(1u << 18), 3.1, 103);
+inline const CsrGraph& facebook_graph() {
+  static const CsrGraph g = make_dataset(
+      "facebook",
+      [] { return pregel::graph::random_undirected(scaled(1u << 18), 3.1, 103); },
+      /*symmetrize_override=*/true);
   return g;
 }
 
 /// Twitter stand-in: dense skewed undirected graph (avg deg ~48).
-inline const Graph& twitter_graph() {
-  static const Graph g = pregel::graph::rmat_undirected(
-      {.num_vertices = scaled(1u << 16), .num_edges = scaled(24u << 16),
-       .seed = 104});
+inline const CsrGraph& twitter_graph() {
+  static const CsrGraph g = make_dataset(
+      "twitter",
+      [] {
+        return pregel::graph::rmat_undirected({.num_vertices = scaled(1u << 16),
+                                               .num_edges = scaled(24u << 16),
+                                               .seed = 104});
+      },
+      /*symmetrize_override=*/true);
   return g;
 }
 
 /// Chain and random tree (pointer-jumping inputs).
-inline const Graph& chain_graph() {
-  static const Graph g = pregel::graph::chain(scaled(300'000));
+inline const CsrGraph& chain_graph() {
+  static const CsrGraph g = make_dataset(
+      "chain", [] { return pregel::graph::chain(scaled(300'000)); });
   return g;
 }
-inline const Graph& tree_graph() {
-  static const Graph g = pregel::graph::random_tree(scaled(300'000), 105);
+inline const CsrGraph& tree_graph() {
+  static const CsrGraph g = make_dataset(
+      "tree", [] { return pregel::graph::random_tree(scaled(300'000), 105); });
   return g;
 }
 
 /// USA-road stand-in: weighted mesh with shortcuts.
-inline const Graph& usa_graph() {
-  static const Graph g =
-      pregel::graph::grid_road(scaled(300), scaled(300), scaled(20'000), 106);
+inline const CsrGraph& usa_graph() {
+  static const CsrGraph g = make_dataset("usa", [] {
+    return pregel::graph::grid_road(scaled(300), scaled(300), scaled(20'000),
+                                    106);
+  });
   return g;
 }
 
@@ -118,8 +168,8 @@ inline const Graph& usa_graph() {
 /// overlaying directed cycles (length 256) on a shuffled vertex subset:
 /// label waves must walk the cycles, which is exactly the slow-convergence
 /// behaviour Table VII's propagation channel eliminates.
-inline const Graph& wikipedia_scc_graph() {
-  static const Graph g = [] {
+inline const CsrGraph& wikipedia_scc_graph() {
+  static const CsrGraph g = make_dataset("wikipedia_scc", [] {
     const pregel::graph::VertexId core_n = scaled(1u << 16);
     constexpr std::uint32_t kCycleLen = 192;
     const pregel::graph::VertexId cycle_n = scaled(1u << 15);
@@ -143,18 +193,23 @@ inline const Graph& wikipedia_scc_graph() {
       base.add_edge(core_pick(rng), core_n + start);  // one-way entry
     }
     return base;
-  }();
+  });
   return g;
 }
 
 /// RMAT24 stand-in: weighted skewed graph, symmetrized for MSF.
-inline const Graph& rmat24_graph() {
-  static const Graph g = pregel::graph::rmat({.num_vertices = scaled(1u << 16),
-                                              .num_edges = scaled(16u << 16),
-                                              .seed = 107,
-                                              .weighted = true,
-                                              .max_weight = 10'000})
-                             .symmetrized();
+inline const CsrGraph& rmat24_graph() {
+  static const CsrGraph g = make_dataset(
+      "rmat24",
+      [] {
+        return pregel::graph::rmat({.num_vertices = scaled(1u << 16),
+                                    .num_edges = scaled(16u << 16),
+                                    .seed = 107,
+                                    .weighted = true,
+                                    .max_weight = 10'000})
+            .symmetrized();
+      },
+      /*symmetrize_override=*/true);
   return g;
 }
 
@@ -173,15 +228,41 @@ inline DistributedGraph warmed(DistributedGraph dg) {
   return dg;
 }
 
-inline DistributedGraph hash_dg(const Graph& g) {
-  return warmed(DistributedGraph(
-      g, pregel::graph::hash_partition(g.num_vertices(), num_workers())));
+/// Non-owning shared_ptr to a cached dataset: every dataset here is a
+/// function-local static, so its lifetime outlives all DistributedGraphs
+/// and the arrays need not be copied per view.
+inline std::shared_ptr<const CsrGraph> shared(const CsrGraph& g) {
+  return {std::shared_ptr<const CsrGraph>(), &g};
 }
 
-inline DistributedGraph voronoi_dg(const Graph& g) {
+inline DistributedGraph hash_dg(const CsrGraph& g) {
+  return warmed(DistributedGraph(
+      shared(g),
+      pregel::graph::hash_partition(g.num_vertices(), num_workers())));
+}
+
+/// Rvalue form for one-off graphs built inline: takes ownership (the
+/// non-owning `shared()` path would dangle on a temporary).
+inline DistributedGraph hash_dg(CsrGraph&& g) {
+  auto owned = std::make_shared<const CsrGraph>(std::move(g));
+  return warmed(DistributedGraph(
+      owned,
+      pregel::graph::hash_partition(owned->num_vertices(), num_workers())));
+}
+
+inline DistributedGraph voronoi_dg(const CsrGraph& g) {
   pregel::graph::VoronoiOptions opts;
   opts.num_workers = num_workers();
-  return warmed(DistributedGraph(g, pregel::graph::voronoi_partition(g, opts)));
+  return warmed(
+      DistributedGraph(shared(g), pregel::graph::voronoi_partition(g, opts)));
+}
+
+inline DistributedGraph voronoi_dg(CsrGraph&& g) {
+  auto owned = std::make_shared<const CsrGraph>(std::move(g));
+  pregel::graph::VoronoiOptions opts;
+  opts.num_workers = num_workers();
+  return warmed(
+      DistributedGraph(owned, pregel::graph::voronoi_partition(*owned, opts)));
 }
 
 /// Cached helper: build once, reuse across benchmark registrations.

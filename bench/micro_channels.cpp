@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "algorithms/pagerank.hpp"
@@ -69,6 +72,73 @@ BENCHMARK(Substrate_ExchangeRound)
     ->Arg(1 << 16)
     ->Unit(benchmark::kMillisecond);
 
+// --------------------------------- storage: CSR vs builder adjacency ------
+
+/// Full neighbor scan (the inner loop of every compute phase) over the
+/// same Wikipedia-sized graph in both representations. The builder's
+/// adjacency-of-vectors chases one heap pointer per vertex — and after a
+/// realistic load (edges arriving in file/generator order, not grouped by
+/// source) its per-vertex blocks are scattered across the heap. The CSR
+/// scan is a single linear pass over the packed edge array.
+const bench::CsrGraph& scan_dataset(int which) {
+  return which == 0 ? bench::wikipedia_graph() : bench::webuk_graph();
+}
+
+/// Rebuild a dataset in the builder form with the edge-arrival order a
+/// loader actually sees: interleaved across sources, so per-vertex vector
+/// reallocations scatter across the heap.
+const pregel::graph::Graph& scan_builder(int which) {
+  static pregel::graph::Graph cache[2];
+  pregel::graph::Graph& b = cache[which];
+  if (b.num_vertices() == 0) {
+    const auto& csr = scan_dataset(which);
+    std::vector<std::pair<pregel::graph::VertexId, pregel::graph::VertexId>>
+        edges;
+    edges.reserve(static_cast<std::size_t>(csr.num_edges()));
+    for (pregel::graph::VertexId u = 0; u < csr.num_vertices(); ++u) {
+      for (const auto v : csr.neighbors(u)) edges.emplace_back(u, v);
+    }
+    std::shuffle(edges.begin(), edges.end(), std::mt19937_64(12345));
+    b = pregel::graph::Graph(csr.num_vertices());
+    for (const auto& [u, v] : edges) b.add_edge(u, v);
+  }
+  return b;
+}
+
+void Storage_NeighborScan_Builder(benchmark::State& state) {
+  const auto& g = scan_builder(static_cast<int>(state.range(0)));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (pregel::graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (const auto& e : g.out(u)) acc += e.dst;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+void Storage_NeighborScan_Csr(benchmark::State& state) {
+  const auto& g = scan_dataset(static_cast<int>(state.range(0)));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (pregel::graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (const auto v : g.neighbors(u)) acc += v;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+// Arg 0: Wikipedia stand-in (1.3M edges); arg 1: WebUK stand-in (4.2M).
+BENCHMARK(Storage_NeighborScan_Builder)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(Storage_NeighborScan_Csr)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // -------------------------------------- combining: hash vs linear scan ----
 
 PGCH_CACHED_DG(wiki, bench::hash_dg(bench::wikipedia_graph()))
@@ -117,7 +187,8 @@ BENCHMARK(Scatter_HandshakeAmortization)
 
 // ----------------------------------------- request dedup on extreme skew --
 
-PGCH_CACHED_DG(star, bench::hash_dg(pregel::graph::star(bench::scaled(200'000))))
+PGCH_CACHED_DG(star, bench::hash_dg(
+                         pregel::graph::star(bench::scaled(200'000)).finalize()))
 
 void Skew_Star_AskReply(benchmark::State& s) {
   bench::run_case<algo::PointerJumpingBasic>(s, star());

@@ -40,12 +40,12 @@ PGCH_CACHED_DG(twitter, bench::hash_dg(bench::twitter_graph()))
 PGCH_CACHED_DG(usa, bench::hash_dg(bench::usa_graph()))
 PGCH_CACHED_DG(rmat24, bench::hash_dg(bench::rmat24_graph()))
 
-const bench::Graph& wiki_sym() {
-  static const bench::Graph g = bench::wikipedia_graph().symmetrized();
+const bench::CsrGraph& wiki_sym() {
+  static const bench::CsrGraph g = bench::symmetrized(bench::wikipedia_graph());
   return g;
 }
-const bench::Graph& wiki_bi() {
-  static const bench::Graph g =
+const bench::CsrGraph& wiki_bi() {
+  static const bench::CsrGraph g =
       algo::make_bidirected(bench::wikipedia_scc_graph());
   return g;
 }

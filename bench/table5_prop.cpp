@@ -23,8 +23,8 @@ namespace {
 
 using namespace pregel;
 
-const bench::Graph& wiki_sym() {
-  static const bench::Graph g = bench::wikipedia_graph().symmetrized();
+const bench::CsrGraph& wiki_sym() {
+  static const bench::CsrGraph g = bench::symmetrized(bench::wikipedia_graph());
   return g;
 }
 

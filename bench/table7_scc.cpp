@@ -23,8 +23,8 @@ namespace {
 
 using namespace pregel;
 
-const bench::Graph& wiki_bi() {
-  static const bench::Graph g =
+const bench::CsrGraph& wiki_bi() {
+  static const bench::CsrGraph g =
       algo::make_bidirected(bench::wikipedia_scc_graph());
   return g;
 }

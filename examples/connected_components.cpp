@@ -6,13 +6,17 @@
 // This is the paper's headline workflow: pick channels per communication
 // pattern, compose them, and watch both time and bytes drop.
 //
-// Usage: connected_components [num_vertices] [avg_degree] [num_workers]
+// Usage: connected_components [num_vertices | graph_path] [avg_degree]
+//                             [num_workers]
+// (graph_path: edge-list text or binary snapshot; loaded graphs are
+// symmetrized, since S-V requires undirected input)
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "algorithms/runner.hpp"
 #include "algorithms/sv.hpp"
+#include "example_common.hpp"
 #include "graph/distributed.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
@@ -40,12 +44,15 @@ void run_variant(const char* name, const graph::DistributedGraph& dg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto loaded = examples::graph_arg(argc, argv);
   const graph::VertexId n =
-      argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 200'000;
+      argc > 1 && !loaded ? static_cast<graph::VertexId>(std::atoi(argv[1]))
+                          : 200'000;
   const double avg_degree = argc > 2 ? std::atof(argv[2]) : 3.1;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 4;
 
-  const graph::Graph g = graph::random_undirected(n, avg_degree, 11);
+  const graph::Graph g = loaded ? loaded->symmetrized()
+                                : graph::random_undirected(n, avg_degree, 11);
   const graph::DistributedGraph dg(
       g, graph::hash_partition(g.num_vertices(), workers));
   const auto expect = ref::connected_components(g);

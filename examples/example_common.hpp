@@ -1,0 +1,36 @@
+#pragma once
+// Shared glue for the example binaries: every example accepts EITHER a
+// synthetic-graph size (a number) OR a dataset path as its first
+// argument. A path may be an edge-list text file (with or without the
+// "num_vertices [weighted]" header — raw SNAP downloads work) or a binary
+// CSR snapshot produced by tools/graph_convert, which loads in
+// milliseconds. The loaded graph is expanded to the builder form so each
+// example can keep symmetrizing / bidirecting exactly as it does for its
+// synthetic input.
+
+#include <cctype>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace examples {
+
+inline bool numeric(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s != '\0'; ++s) {
+    if (std::isdigit(static_cast<unsigned char>(*s)) == 0) return false;
+  }
+  return true;
+}
+
+/// The first positional argument as a dataset: loads when it is a path,
+/// nullopt when absent or numeric (synthetic-size mode).
+inline std::optional<pregel::graph::Graph> graph_arg(int argc, char** argv) {
+  if (argc > 1 && !numeric(argv[1])) {
+    return pregel::graph::load_any(argv[1]).to_graph();
+  }
+  return std::nullopt;
+}
+
+}  // namespace examples

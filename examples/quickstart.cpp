@@ -6,15 +6,18 @@
 //   3. write a Worker subclass whose channels are member objects,
 //   4. launch() and collect per-vertex results.
 //
-// Usage: quickstart [num_vertices] [num_workers]
+// Usage: quickstart [num_vertices | graph_path] [num_workers]
+// (graph_path: edge-list text or binary snapshot, see tools/graph_convert)
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "core/pregel_channel.hpp"
+#include "example_common.hpp"
 #include "graph/distributed.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
@@ -65,14 +68,21 @@ class PageRankWorker : public Worker<VertexT> {
 };
 
 int main(int argc, char** argv) {
+  // Dataset-path mode loads straight into the CSR form (a snapshot needs
+  // no builder round-trip — this example runs no builder operations).
+  const bool from_file = argc > 1 && !examples::numeric(argv[1]);
   const graph::VertexId n =
-      argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 100'000;
+      argc > 1 && !from_file ? static_cast<graph::VertexId>(std::atoi(argv[1]))
+                             : 100'000;
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
 
-  // A skewed web-like graph; swap in graph::load_edge_list(path) for files.
-  const graph::Graph g = graph::rmat({.num_vertices = n,
-                                      .num_edges = std::uint64_t{8} * n,
-                                      .seed = 42});
+  // A skewed web-like graph, or the dataset named on the command line.
+  const graph::CsrGraph g =
+      from_file ? graph::load_any(argv[1])
+                : graph::rmat({.num_vertices = n,
+                               .num_edges = std::uint64_t{8} * n,
+                               .seed = 42})
+                      .finalize();
   const graph::DistributedGraph dg(
       g, graph::hash_partition(g.num_vertices(), workers));
 
@@ -88,13 +98,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.num_edges()), workers);
   std::printf("  %s\n", stats.summary().c_str());
 
-  // Report the top five pages.
+  // Report the top pages (up to five — tiny datasets have fewer).
+  const int top = static_cast<int>(std::min<std::size_t>(5, ranks.size()));
   std::vector<graph::VertexId> order(g.num_vertices());
   std::iota(order.begin(), order.end(), graph::VertexId{0});
-  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+  std::partial_sort(order.begin(), order.begin() + top, order.end(),
                     [&](auto a, auto b) { return ranks[a] > ranks[b]; });
   std::printf("  top pages:");
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < top; ++i) {
     std::printf("  v%u=%.3e", order[static_cast<std::size_t>(i)],
                 ranks[order[static_cast<std::size_t>(i)]]);
   }

@@ -2,14 +2,17 @@
 // algorithm, with and without the Propagation channel (the paper's Table
 // VII scenario), verified against Tarjan.
 //
-// Usage: scc_webgraph [num_vertices] [num_workers]
+// Usage: scc_webgraph [num_vertices | graph_path] [num_workers]
+// (graph_path: edge-list text or binary snapshot, see tools/graph_convert)
 
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
+#include <utility>
 
 #include "algorithms/runner.hpp"
 #include "algorithms/scc.hpp"
+#include "example_common.hpp"
 #include "graph/distributed.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
@@ -37,14 +40,20 @@ void run_variant(const char* name, const graph::DistributedGraph& dg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto loaded = examples::graph_arg(argc, argv);
   const graph::VertexId n =
-      argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 60'000;
+      argc > 1 && !loaded ? static_cast<graph::VertexId>(std::atoi(argv[1]))
+                          : 60'000;
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
 
   // Web-like digraph: skewed in/out degrees, a large central SCC and many
-  // small/trivial ones — the structure Min-Label exploits.
-  const graph::Graph g = graph::rmat(
-      {.num_vertices = n, .num_edges = std::uint64_t{6} * n, .seed = 5});
+  // small/trivial ones — the structure Min-Label exploits. A dataset named
+  // on the command line is used as-is (directed).
+  const graph::Graph g =
+      loaded ? std::move(*loaded)
+             : graph::rmat({.num_vertices = n,
+                            .num_edges = std::uint64_t{6} * n,
+                            .seed = 5});
   const graph::Graph bi = algo::make_bidirected(g);
   const graph::DistributedGraph dg(
       bi, graph::hash_partition(bi.num_vertices(), workers));

@@ -2,13 +2,16 @@
 // road-like mesh (the paper's USA-road scenario), using the min-combined
 // message channel, with a comparison against sequential Dijkstra.
 //
-// Usage: sssp_roadnet [grid_side] [num_workers] [source]
+// Usage: sssp_roadnet [grid_side | graph_path] [num_workers] [source]
+// (graph_path: weighted edge-list text or binary snapshot; used as-is)
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "algorithms/runner.hpp"
 #include "algorithms/sssp.hpp"
+#include "example_common.hpp"
 #include "graph/distributed.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
@@ -17,14 +20,18 @@
 using namespace pregel;
 
 int main(int argc, char** argv) {
+  auto loaded = examples::graph_arg(argc, argv);
   const graph::VertexId side =
-      argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 250;
+      argc > 1 && !loaded ? static_cast<graph::VertexId>(std::atoi(argv[1]))
+                          : 250;
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const graph::VertexId source =
       argc > 3 ? static_cast<graph::VertexId>(std::atoi(argv[3])) : 0;
 
-  // Weighted mesh plus long-haul shortcuts: a synthetic road network.
-  const graph::Graph g = graph::grid_road(side, side, side * 10, 7);
+  // Weighted mesh plus long-haul shortcuts: a synthetic road network — or
+  // the (weighted) dataset named on the command line.
+  const graph::Graph g = loaded ? std::move(*loaded)
+                                : graph::grid_road(side, side, side * 10, 7);
   const graph::DistributedGraph dg(
       g, graph::hash_partition(g.num_vertices(), workers));
 

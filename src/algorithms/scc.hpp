@@ -55,6 +55,18 @@ inline graph::Graph make_bidirected(const graph::Graph& g) {
   return b;
 }
 
+/// Same encoding from a finalized graph (datasets, loaded snapshots).
+inline graph::CsrGraph make_bidirected(const graph::CsrGraph& g) {
+  graph::Graph b(g.num_vertices());
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const graph::VertexId v : g.neighbors(u)) {
+      b.add_edge(u, v, kFwdTag);
+      b.add_edge(v, u, kBwdTag);
+    }
+  }
+  return b.finalize();
+}
+
 struct SccValue {
   VertexId scc = graph::kInvalidVertex;  ///< assigned SCC id (min member)
   VertexId label_f = graph::kInvalidVertex;

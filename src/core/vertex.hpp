@@ -3,10 +3,8 @@
 // user's value type, the vertex's global id, its (read-only) adjacency
 // slice, and the Pregel voting-to-halt flag.
 
-#include <span>
-
 #include "core/types.hpp"
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 #include "runtime/buffer.hpp"
 
 namespace pregel::plus {
@@ -34,10 +32,9 @@ class Vertex {
   ValueT& value() noexcept { return value_; }
   const ValueT& value() const noexcept { return value_; }
 
-  /// Outgoing adjacency (owned by the DistributedGraph slice).
-  [[nodiscard]] std::span<const graph::Edge> edges() const noexcept {
-    return edges_;
-  }
+  /// Outgoing adjacency: a contiguous view into the shared CSR arrays
+  /// (graph/csr.hpp). Iteration yields graph::Edge values.
+  [[nodiscard]] graph::EdgeSpan edges() const noexcept { return edges_; }
   [[nodiscard]] std::uint32_t out_degree() const noexcept {
     return static_cast<std::uint32_t>(edges_.size());
   }
@@ -61,7 +58,7 @@ class Vertex {
 
   VertexId id_ = 0;
   bool active_ = true;
-  std::span<const graph::Edge> edges_;
+  graph::EdgeSpan edges_;
   ValueT value_{};
 };
 

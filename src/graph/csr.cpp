@@ -1,0 +1,121 @@
+#include "graph/csr.hpp"
+
+#include <utility>
+
+namespace pregel::graph {
+
+namespace {
+
+/// FNV-1a 64 folded over a raw byte range, seeded with the running hash so
+/// successive arrays chain into one digest.
+std::uint64_t fnv1a64(std::uint64_t h, const void* data, std::size_t bytes) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::from_arrays(std::vector<std::uint64_t> offsets,
+                               std::vector<VertexId> dst,
+                               std::vector<Weight> weights) {
+  if (offsets.empty()) {
+    throw std::invalid_argument("CsrGraph: offsets must have >= 1 entry");
+  }
+  if (offsets.front() != 0 || offsets.back() != dst.size()) {
+    throw std::invalid_argument("CsrGraph: offsets must run 0..num_edges");
+  }
+  for (std::size_t u = 1; u < offsets.size(); ++u) {
+    if (offsets[u] < offsets[u - 1]) {
+      throw std::invalid_argument("CsrGraph: offsets must be non-decreasing");
+    }
+  }
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (const VertexId d : dst) {
+    if (d >= n) throw std::invalid_argument("CsrGraph: destination out of range");
+  }
+  if (!weights.empty() && weights.size() != dst.size()) {
+    throw std::invalid_argument("CsrGraph: weights must be empty or |E|");
+  }
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.dst_ = std::move(dst);
+  g.weights_ = std::move(weights);
+  return g;
+}
+
+CsrGraph CsrGraph::transpose() const {
+  const VertexId n = num_vertices();
+  const std::uint64_t m = num_edges();
+
+  CsrGraph t;
+  t.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Counting pass: in-degree of every vertex...
+  for (const VertexId d : dst_) ++t.offsets_[d + 1];
+  // ...prefix-summed into the transpose's offsets.
+  for (VertexId v = 0; v < n; ++v) t.offsets_[v + 1] += t.offsets_[v];
+
+  t.dst_.resize(m);
+  if (!weights_.empty()) t.weights_.resize(m);
+  std::vector<std::uint64_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint64_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+      const std::uint64_t pos = cursor[dst_[i]]++;
+      t.dst_[pos] = u;
+      if (!weights_.empty()) t.weights_[pos] = weights_[i];
+    }
+  }
+  return t;
+}
+
+Graph CsrGraph::to_graph() const {
+  Graph g(num_vertices());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (std::uint64_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+      g.add_edge(u, dst_[i], weights_.empty() ? Weight{1} : weights_[i]);
+    }
+  }
+  return g;
+}
+
+std::uint64_t CsrGraph::checksum() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  h = fnv1a64(h, offsets_.data(), offsets_.size() * sizeof(std::uint64_t));
+  h = fnv1a64(h, dst_.data(), dst_.size() * sizeof(VertexId));
+  h = fnv1a64(h, weights_.data(), weights_.size() * sizeof(Weight));
+  return h;
+}
+
+CsrGraph Graph::finalize() const {
+  CsrGraph csr;
+  csr.offsets_.assign(static_cast<std::size_t>(num_vertices()) + 1, 0);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    csr.offsets_[u + 1] = csr.offsets_[u] + out(u).size();
+  }
+  csr.dst_.resize(static_cast<std::size_t>(num_edges()));
+
+  // First pass packs destinations and detects whether any edge carries a
+  // real weight; only then is the SoA weight array paid for.
+  bool weighted = false;
+  std::uint64_t pos = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Edge& e : out(u)) {
+      csr.dst_[pos++] = e.dst;
+      weighted |= (e.weight != Weight{1});
+    }
+  }
+  if (weighted) {
+    csr.weights_.resize(csr.dst_.size());
+    pos = 0;
+    for (VertexId u = 0; u < num_vertices(); ++u) {
+      for (const Edge& e : out(u)) csr.weights_[pos++] = e.weight;
+    }
+  }
+  return csr;
+}
+
+}  // namespace pregel::graph

@@ -1,17 +1,21 @@
 #pragma once
-// DistributedGraph: the per-worker slices every engine run starts from.
+// DistributedGraph: the per-worker views every engine run starts from.
 //
-// Construction copies each vertex's adjacency into its owner's slice, so
-// after load time workers touch only their own slice — the same contract
-// as the paper's workers, which each hold "a disjoint portion of the graph
-// (a subset of vertices along with their states and adjacent lists)".
+// The graph itself lives once, as an immutable CsrGraph; each rank's
+// "slice" is only the partition's id mapping plus spans into the shared
+// CSR arrays. Nothing is copied per worker — `out(rank, lidx)` resolves to
+// a contiguous range of the global edge array. Workers still touch only
+// their own vertices' adjacency after load time (the same contract as the
+// paper's workers, which each hold "a disjoint portion of the graph"); the
+// storage being shared and read-only is what makes the view free.
 
 #include <cstdint>
-#include <span>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 
@@ -19,36 +23,42 @@ namespace pregel::graph {
 
 class DistributedGraph {
  public:
-  DistributedGraph(const Graph& g, Partition partition)
-      : partition_(std::move(partition)),
-        num_vertices_(g.num_vertices()),
-        num_edges_(g.num_edges()) {
-    if (partition_.owner.size() != g.num_vertices()) {
+  /// Primary form: share an already-finalized CSR graph (no copy). The
+  /// benches use this with their per-binary cached datasets.
+  DistributedGraph(std::shared_ptr<const CsrGraph> g, Partition partition)
+      : csr_(std::move(g)), partition_(std::move(partition)) {
+    if (csr_ == nullptr) {
+      throw std::invalid_argument("DistributedGraph: null graph");
+    }
+    if (partition_.owner.size() != csr_->num_vertices()) {
       throw std::invalid_argument(
           "DistributedGraph: partition size != graph size");
     }
-    slices_.resize(static_cast<std::size_t>(partition_.num_workers));
-    for (int rank = 0; rank < partition_.num_workers; ++rank) {
-      auto& slice = slices_[static_cast<std::size_t>(rank)];
-      const auto& ids = partition_.members[static_cast<std::size_t>(rank)];
-      slice.out.reserve(ids.size());
-      for (VertexId v : ids) {
-        auto span = g.out(v);
-        slice.out.emplace_back(span.begin(), span.end());
-      }
-    }
   }
+
+  /// Take ownership of a finalized CSR graph.
+  DistributedGraph(CsrGraph g, Partition partition)
+      : DistributedGraph(std::make_shared<const CsrGraph>(std::move(g)),
+                         std::move(partition)) {}
+
+  /// Convenience: finalize a builder graph in place.
+  DistributedGraph(const Graph& g, Partition partition)
+      : DistributedGraph(g.finalize(), std::move(partition)) {}
 
   [[nodiscard]] int num_workers() const noexcept {
     return partition_.num_workers;
   }
   [[nodiscard]] VertexId num_vertices() const noexcept {
-    return num_vertices_;
+    return csr_->num_vertices();
   }
-  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return csr_->num_edges();
+  }
   [[nodiscard]] const Partition& partition() const noexcept {
     return partition_;
   }
+  /// The shared immutable storage all rank views point into.
+  [[nodiscard]] const CsrGraph& csr() const noexcept { return *csr_; }
 
   [[nodiscard]] int owner(VertexId v) const { return partition_.owner[v]; }
   [[nodiscard]] std::uint32_t local_index(VertexId v) const {
@@ -64,8 +74,9 @@ class DistributedGraph {
   [[nodiscard]] const std::vector<VertexId>& ids(int rank) const {
     return partition_.members[static_cast<std::size_t>(rank)];
   }
-  [[nodiscard]] std::span<const Edge> out(int rank, std::uint32_t lidx) const {
-    return slices_[static_cast<std::size_t>(rank)].out[lidx];
+  /// A rank-local vertex's adjacency: a view into the shared CSR arrays.
+  [[nodiscard]] EdgeSpan out(int rank, std::uint32_t lidx) const {
+    return csr_->out(global_id(rank, lidx));
   }
 
   /// Block id of a vertex (kNoBlock when the partitioner was not
@@ -75,14 +86,8 @@ class DistributedGraph {
   }
 
  private:
-  struct Slice {
-    std::vector<std::vector<Edge>> out;  ///< local idx -> adjacency copy
-  };
-
+  std::shared_ptr<const CsrGraph> csr_;
   Partition partition_;
-  VertexId num_vertices_;
-  std::uint64_t num_edges_;
-  std::vector<Slice> slices_;
 };
 
 }  // namespace pregel::graph

@@ -1,10 +1,13 @@
 #pragma once
-// Graph: the in-memory global graph every engine run is launched from.
+// Graph: the mutable BUILDER the generators and text loaders write into.
 //
-// Kept deliberately simple (adjacency vectors, optional integer weights):
-// the distributed engines never touch this object after load time — each
-// worker receives only its own slice (see graph/distributed.hpp), mirroring
-// the paper's workers which load disjoint portions from HDFS.
+// Kept deliberately simple (adjacency vectors, optional integer weights)
+// because nothing performance-critical reads it: `finalize()` packs it
+// into the immutable CSR form (graph/csr.hpp) that the engines,
+// partitioners and binary snapshots consume. The distributed engines never
+// touch either object after load time — each worker receives only its own
+// view (see graph/distributed.hpp), mirroring the paper's workers which
+// load disjoint portions from HDFS.
 
 #include <cstdint>
 #include <limits>
@@ -29,7 +32,10 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
-/// Directed multigraph with per-edge integer weights.
+class CsrGraph;
+
+/// Directed multigraph with per-edge integer weights (the mutable builder;
+/// finalize() produces the immutable CSR form engines run on).
 class Graph {
  public:
   Graph() = default;
@@ -90,6 +96,11 @@ class Graph {
 
   /// Sorts each adjacency list by destination (then weight).
   void sort_adjacency();
+
+  /// Pack into the immutable CSR representation (graph/csr.hpp): offset
+  /// array + contiguous destination array, with the weight array dropped
+  /// entirely when every edge weighs 1. Adjacency order is preserved.
+  [[nodiscard]] CsrGraph finalize() const;
 
  private:
   void check_vertex(VertexId u) const {

@@ -1,15 +1,71 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace pregel::graph {
 
 namespace {
-constexpr std::uint32_t kBinaryMagic = 0x50474348;  // "PGCH"
-constexpr std::uint32_t kBinaryVersion = 1;
+
+// The snapshot is defined as a little-endian byte layout (DESIGN.md
+// section 5). Arrays are written raw, so a big-endian host would need
+// byte-swapping this loader does not implement.
+static_assert(std::endian::native == std::endian::little,
+              "binary snapshots are little-endian; add swapping for BE");
+
+constexpr std::uint32_t kBinaryMagic = 0x53434750;  // "PGCS" little-endian
+constexpr std::uint32_t kBinaryVersion = 2;
+constexpr std::uint32_t kFlagWeighted = 1u << 0;
+constexpr std::uint32_t kKnownFlags = kFlagWeighted;
+
+/// Fixed 32-byte snapshot header. Field-by-field I/O (not a struct dump)
+/// keeps the layout independent of compiler padding.
+struct SnapshotHeader {
+  std::uint32_t magic = kBinaryMagic;
+  std::uint32_t version = kBinaryVersion;
+  std::uint32_t flags = 0;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t checksum = 0;
+};
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+template <typename T>
+void put_array(std::ofstream& out, std::span<const T> a) {
+  out.write(reinterpret_cast<const char*>(a.data()),
+            static_cast<std::streamsize>(a.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> get_array(std::ifstream& in, std::uint64_t count,
+                         const char* what) {
+  std::vector<T> a(count);
+  in.read(reinterpret_cast<char*>(a.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) {
+    throw std::runtime_error(std::string("load_binary: truncated ") + what);
+  }
+  return a;
+}
+
 }  // namespace
 
 void save_edge_list(const Graph& g, const std::string& path, bool weighted) {
@@ -55,54 +111,146 @@ Graph load_edge_list(const std::string& path) {
   return g;
 }
 
-void save_binary(const Graph& g, const std::string& path) {
+Graph load_edge_list_auto(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_edge_list_auto: cannot open " + path);
+  }
+  std::string line;
+  // Find the first data line and classify the file.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    break;
+  }
+  std::istringstream probe(line);
+  VertexId a = 0, b = 0;
+  probe >> a;
+  const bool headerless = static_cast<bool>(probe >> b);
+  if (!headerless) return load_edge_list(path);
+
+  // Headerless SNAP-style list: collect edges, infer the vertex count.
+  struct Row {
+    VertexId u, v;
+    Weight w;
+  };
+  std::vector<Row> rows;
+  VertexId max_id = 0;
+  bool any_weight = false;
+  in.clear();
+  in.seekg(0);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    VertexId u = 0, v = 0;
+    Weight w = 1;
+    row >> u >> v;
+    if (row.fail()) {
+      throw std::runtime_error("load_edge_list_auto: bad line: " + line);
+    }
+    if (row >> w) any_weight = true;
+    rows.push_back({u, v, w});
+    max_id = std::max({max_id, u, v});
+  }
+  Graph g(rows.empty() ? 0 : max_id + 1);
+  for (const Row& r : rows) g.add_edge(r.u, r.v, any_weight ? r.w : Weight{1});
+  return g;
+}
+
+void save_binary(const CsrGraph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_binary: cannot open " + path);
-  auto put32 = [&out](std::uint32_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  put32(kBinaryMagic);
-  put32(kBinaryVersion);
-  put32(g.num_vertices());
-  for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    const auto edges = g.out(u);
-    put32(static_cast<std::uint32_t>(edges.size()));
-    if (!edges.empty()) {
-      out.write(reinterpret_cast<const char*>(edges.data()),
-                static_cast<std::streamsize>(edges.size() * sizeof(Edge)));
-    }
-  }
+  SnapshotHeader h;
+  h.flags = g.is_weighted() ? kFlagWeighted : 0;
+  h.num_vertices = g.num_vertices();
+  h.num_edges = g.num_edges();
+  h.checksum = g.checksum();
+  put(out, h.magic);
+  put(out, h.version);
+  put(out, h.flags);
+  put(out, h.num_vertices);
+  put(out, h.num_edges);
+  put(out, h.checksum);
+  put_array(out, g.offsets());
+  put_array(out, g.dst_array());
+  put_array(out, g.weight_array());
   if (!out) throw std::runtime_error("save_binary: write failed");
 }
 
-Graph load_binary(const std::string& path) {
+void save_binary(const Graph& g, const std::string& path) {
+  save_binary(g.finalize(), path);
+}
+
+CsrGraph load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_binary: cannot open " + path);
-  auto get32 = [&in]() {
-    std::uint32_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  if (get32() != kBinaryMagic) {
-    throw std::runtime_error("load_binary: bad magic");
+  SnapshotHeader h;
+  h.magic = get<std::uint32_t>(in);
+  h.version = get<std::uint32_t>(in);
+  h.flags = get<std::uint32_t>(in);
+  h.num_vertices = get<std::uint32_t>(in);
+  h.num_edges = get<std::uint64_t>(in);
+  h.checksum = get<std::uint64_t>(in);
+  if (!in) throw std::runtime_error("load_binary: truncated header");
+  if (h.magic != kBinaryMagic) {
+    throw std::runtime_error("load_binary: bad magic (not a snapshot)");
   }
-  if (get32() != kBinaryVersion) {
-    throw std::runtime_error("load_binary: unsupported version");
+  if (h.version != kBinaryVersion) {
+    throw std::runtime_error("load_binary: unsupported version " +
+                             std::to_string(h.version));
   }
-  const VertexId n = get32();
-  Graph g(n);
-  std::vector<Edge> edges;
-  for (VertexId u = 0; u < n; ++u) {
-    const std::uint32_t deg = get32();
-    edges.resize(deg);
-    if (deg != 0) {
-      in.read(reinterpret_cast<char*>(edges.data()),
-              static_cast<std::streamsize>(deg * sizeof(Edge)));
-    }
-    for (const Edge& e : edges) g.add_edge(u, e.dst, e.weight);
+  if ((h.flags & ~kKnownFlags) != 0) {
+    throw std::runtime_error("load_binary: unknown header flags");
   }
-  if (!in) throw std::runtime_error("load_binary: truncated file");
+
+  // Size sanity BEFORE trusting the header's counts: a bit-flipped
+  // num_edges must fail cleanly here, not as a multi-gigabyte allocation
+  // in get_array. The snapshot layout is exact, so the file size must
+  // equal header + offsets + dst (+ weights) to the byte.
+  const std::uint64_t per_edge = (h.flags & kFlagWeighted) != 0 ? 8 : 4;
+  std::uint64_t expected = 32 + (static_cast<std::uint64_t>(h.num_vertices) + 1) * 8;
+  if (h.num_edges > (std::numeric_limits<std::uint64_t>::max() - expected) /
+                        per_edge) {
+    throw std::runtime_error("load_binary: corrupt header (edge count)");
+  }
+  expected += h.num_edges * per_edge;
+  std::error_code ec;
+  const auto actual = std::filesystem::file_size(path, ec);
+  if (ec || actual != expected) {
+    throw std::runtime_error(
+        "load_binary: file size does not match header (corrupt or truncated)");
+  }
+
+  auto offsets = get_array<std::uint64_t>(
+      in, static_cast<std::uint64_t>(h.num_vertices) + 1, "offset array");
+  auto dst = get_array<VertexId>(in, h.num_edges, "edge array");
+  std::vector<Weight> weights;
+  if ((h.flags & kFlagWeighted) != 0) {
+    weights = get_array<Weight>(in, h.num_edges, "weight array");
+  }
+
+  CsrGraph g;
+  try {
+    g = CsrGraph::from_arrays(std::move(offsets), std::move(dst),
+                              std::move(weights));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_binary: corrupt arrays: ") +
+                             e.what());
+  }
+  if (g.checksum() != h.checksum) {
+    throw std::runtime_error("load_binary: checksum mismatch (corrupt file)");
+  }
   return g;
+}
+
+CsrGraph load_any(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) throw std::runtime_error("load_any: cannot open " + path);
+    std::uint32_t magic = 0;
+    probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (probe && magic == kBinaryMagic) return load_binary(path);
+  }
+  return load_edge_list_auto(path).finalize();
 }
 
 }  // namespace pregel::graph

@@ -1,10 +1,18 @@
 #pragma once
-// Graph I/O: plain edge-list text files and a fast binary snapshot.
+// Graph I/O: plain edge-list text files and the binary CSR snapshot.
 // Stands in for the paper's HDFS input layer (DESIGN.md section 1); the
 // storage backend is orthogonal to everything the evaluation measures.
+//
+// The snapshot (format spec: DESIGN.md section 5) is the CsrGraph's three
+// arrays written raw behind a checksummed little-endian header, so a
+// SNAP-scale dataset reloads with four reads and one checksum pass instead
+// of a text re-parse. `tools/graph_convert.cpp` turns edge lists into
+// snapshots; `load_any()` sniffs the magic so every example and bench can
+// accept either format through one entry point.
 
 #include <string>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace pregel::graph {
@@ -15,8 +23,23 @@ void save_edge_list(const Graph& g, const std::string& path,
                     bool weighted = false);
 Graph load_edge_list(const std::string& path);
 
-/// Binary snapshot (little-endian, versioned header).
+/// Tolerant text loader for SNAP-style downloads: accepts the header
+/// format above, or a headerless "src dst [weight]" list ('#' comments
+/// allowed anywhere) whose vertex count is inferred as max id + 1. A
+/// first data line with one token (or "n weighted") is read as a header;
+/// a first data line with two-plus numeric tokens is read as an edge.
+Graph load_edge_list_auto(const std::string& path);
+
+/// Binary CSR snapshot (little-endian, versioned, checksummed header +
+/// raw offset/dst/weight arrays). load_binary verifies the magic, version,
+/// array bounds and the FNV-1a payload checksum, and throws
+/// std::runtime_error on any mismatch.
+void save_binary(const CsrGraph& g, const std::string& path);
 void save_binary(const Graph& g, const std::string& path);
-Graph load_binary(const std::string& path);
+CsrGraph load_binary(const std::string& path);
+
+/// Load either format: binary snapshot when the file starts with the
+/// snapshot magic, otherwise text via load_edge_list_auto + finalize.
+CsrGraph load_any(const std::string& path);
 
 }  // namespace pregel::graph

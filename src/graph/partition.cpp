@@ -4,6 +4,7 @@
 #include <numeric>
 #include <queue>
 #include <random>
+#include <span>
 #include <stdexcept>
 
 namespace pregel::graph {
@@ -22,6 +23,17 @@ void build_members(Partition& p) {
 }
 
 }  // namespace
+
+double Partition::edge_cut(const CsrGraph& g) const {
+  if (g.num_edges() == 0) return 0.0;
+  std::uint64_t cut = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (owner[u] != owner[v]) ++cut;
+    }
+  }
+  return static_cast<double>(cut) / static_cast<double>(g.num_edges());
+}
 
 double Partition::edge_cut(const Graph& g) const {
   if (g.num_edges() == 0) return 0.0;
@@ -73,17 +85,38 @@ Partition from_owner(std::vector<int> owner, int num_workers) {
 }
 
 Partition voronoi_partition(const Graph& g, const VoronoiOptions& opts) {
+  return voronoi_partition(g.finalize(), opts);
+}
+
+Partition voronoi_partition(const CsrGraph& g, const VoronoiOptions& opts) {
   const VertexId n = g.num_vertices();
   if (opts.num_workers <= 0) throw std::invalid_argument("bad worker count");
 
-  // Undirected adjacency view for region growing.
-  std::vector<std::vector<VertexId>> nbr(n);
+  // Region growing walks edges in both directions; when the input is
+  // directed, build the union of the graph and its transpose as a flat
+  // CSR-style neighbor table (two O(V+E) counting passes).
+  std::vector<std::uint64_t> noff(static_cast<std::size_t>(n) + 1, 0);
   for (VertexId u = 0; u < n; ++u) {
-    for (const Edge& e : g.out(u)) {
-      nbr[u].push_back(e.dst);
-      if (opts.treat_directed_as_undirected) nbr[e.dst].push_back(u);
+    for (const VertexId v : g.neighbors(u)) {
+      ++noff[u + 1];
+      if (opts.treat_directed_as_undirected) ++noff[v + 1];
     }
   }
+  for (VertexId u = 0; u < n; ++u) noff[u + 1] += noff[u];
+  std::vector<VertexId> ndst(noff[n]);
+  {
+    std::vector<std::uint64_t> cursor(noff.begin(), noff.end() - 1);
+    for (VertexId u = 0; u < n; ++u) {
+      for (const VertexId v : g.neighbors(u)) {
+        ndst[cursor[u]++] = v;
+        if (opts.treat_directed_as_undirected) ndst[cursor[v]++] = u;
+      }
+    }
+  }
+  const auto nbr = [&](VertexId u) {
+    return std::span<const VertexId>(ndst.data() + noff[u],
+                                     static_cast<std::size_t>(noff[u + 1] - noff[u]));
+  };
 
   std::uint32_t target = opts.target_block_size;
   if (target == 0) {
@@ -112,7 +145,7 @@ Partition voronoi_partition(const Graph& g, const VoronoiOptions& opts) {
       const VertexId u = frontier.front();
       frontier.pop();
       ++block_size[b];
-      for (VertexId v : nbr[u]) {
+      for (VertexId v : nbr(u)) {
         if (block[v] == kNoBlock) {
           block[v] = b;
           frontier.push(v);

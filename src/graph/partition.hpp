@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace pregel::graph {
@@ -27,6 +28,7 @@ struct Partition {
   }
 
   /// Fraction of edges whose endpoints live on different workers.
+  [[nodiscard]] double edge_cut(const CsrGraph& g) const;
   [[nodiscard]] double edge_cut(const Graph& g) const;
 };
 
@@ -54,7 +56,9 @@ struct VoronoiOptions {
 /// seeds. Produces connected blocks with a small edge-cut, then assigns
 /// blocks to workers by size (longest-processing-time bin packing).
 /// This is our stand-in for METIS: what the experiments need from METIS is
-/// only that most edges become worker-local.
+/// only that most edges become worker-local. The CSR overload is the
+/// implementation; the builder overload finalizes first.
+Partition voronoi_partition(const CsrGraph& g, const VoronoiOptions& opts);
 Partition voronoi_partition(const Graph& g, const VoronoiOptions& opts);
 
 }  // namespace pregel::graph

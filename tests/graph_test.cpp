@@ -30,7 +30,23 @@ TEST(Graph, AddAndQueryEdges) {
   EXPECT_EQ(g.num_edges(), 3u);
   EXPECT_EQ(g.out_degree(0), 2u);
   EXPECT_EQ(g.out(0)[1].weight, 7u);
-  EXPECT_THROW(g.add_edge(0, 9), std::out_of_range);
+}
+
+TEST(Graph, AddEdgeBoundsChecksBothEndpoints) {
+  Graph g(4);
+  // volatile: keeps GCC from statically proving the (never-executed)
+  // out-of-bounds adjacency access behind the throwing check.
+  volatile VertexId bad = 9;
+  EXPECT_THROW(g.add_edge(bad, 0), std::out_of_range);  // bad source
+  EXPECT_THROW(g.add_edge(0, bad), std::out_of_range);  // bad destination
+  EXPECT_EQ(g.num_edges(), 0u);  // failed adds must not count
+}
+
+TEST(Graph, AvgDegreeOnEmptyGraphIsZero) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.avg_degree(), 0.0);
+  EXPECT_EQ(g.finalize().avg_degree(), 0.0);
 }
 
 TEST(Graph, SymmetrizedHasBothDirections) {
@@ -253,7 +269,7 @@ TEST(GraphIO, BinaryRoundTripPreservesWeights) {
   const auto path =
       (std::filesystem::temp_directory_path() / "pgch_bin_test.bin").string();
   save_binary(g, path);
-  const Graph h = load_binary(path);
+  const CsrGraph h = load_binary(path);
   ASSERT_EQ(h.num_vertices(), g.num_vertices());
   ASSERT_EQ(h.num_edges(), g.num_edges());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans every *.md in the repo (skipping build trees) for [text](target)
+links, resolves each relative target against the linking file's
+directory, and fails if any target does not exist. External links
+(http/https/mailto) are not fetched — this is the offline docs gate the
+CI docs job runs; it needs no network and no dependencies.
+
+Usage: python3 tools/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".claude"}
+# [text](target) — target without scheme; tolerate #anchors and titles.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    errors = []
+    checked = 0
+    for md in markdown_files(root):
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            checked += 1
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(md, root)
+                errors.append(f"{rel}: broken link -> {target}")
+    return checked, errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    checked, errors = check(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} relative links, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
