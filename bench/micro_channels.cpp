@@ -251,6 +251,116 @@ BENCHMARK(Sssp_PropagationW_Road)
     ->UseManualTime()
     ->Iterations(1);
 
+// ------------------- frontier: sparse-superstep scan cost (DESIGN.md §6) --
+
+/// SSSP on the grid-road stand-in drives the classic sparse frontier: a
+/// relaxation wavefront touching a sliver of V each superstep. Capture
+/// rank 0's real per-superstep frontiers from an instrumented run, then
+/// time the two iteration strategies the engine switches between: the
+/// pre-SoA full linear scan (every superstep pays O(V) regardless of how
+/// few vertices are active) vs the ActiveSet word-scan (O(active)).
+/// Args 0/1 pick a small/large grid: FullScan time grows with V, WordScan
+/// tracks the frontier and stays put — sparse supersteps no longer scale
+/// with total V.
+
+struct FrontierCapture {
+  std::uint32_t num_local = 0;  ///< rank 0's slice size (the scan's V)
+  std::vector<std::vector<std::uint32_t>> frontiers;  ///< per superstep
+  std::uint64_t active_total = 0;
+};
+
+class SsspFrontierProbe : public algo::Sssp {
+ public:
+  static inline std::vector<std::vector<std::uint32_t>>* sink = nullptr;
+  void begin_superstep() override {
+    if (rank() == 0) {
+      sink->emplace_back(frontier().begin(), frontier().end());
+    }
+  }
+};
+
+const FrontierCapture& road_frontiers(int which) {
+  static FrontierCapture caps[2];
+  FrontierCapture& cap = caps[which];
+  if (cap.frontiers.empty()) {
+    const std::uint32_t side = which == 0 ? bench::scaled(150)
+                                          : bench::scaled(300);
+    // No shortcut edges: a pure grid keeps the wavefront O(side) wide, so
+    // the frontier is a thin sliver of V — the regime this bench measures.
+    auto dg = bench::hash_dg(
+        pregel::graph::grid_road(side, side, /*extra_edges=*/0, 106)
+            .finalize());
+    SsspFrontierProbe::sink = &cap.frontiers;
+    algo::run_only<SsspFrontierProbe>(
+        dg, [](SsspFrontierProbe& w) { w.source = 0; });
+    SsspFrontierProbe::sink = nullptr;
+    cap.num_local = dg.num_local(0);
+    for (const auto& f : cap.frontiers) cap.active_total += f.size();
+  }
+  return cap;
+}
+
+std::vector<runtime::ActiveSet> frontier_sets(const FrontierCapture& cap) {
+  std::vector<runtime::ActiveSet> sets;
+  sets.reserve(cap.frontiers.size());
+  for (const auto& f : cap.frontiers) {
+    runtime::ActiveSet s(cap.num_local, /*value=*/false);
+    for (const std::uint32_t lidx : f) s.set(lidx);
+    sets.push_back(std::move(s));
+  }
+  return sets;
+}
+
+void report_frontier_counters(benchmark::State& state,
+                              const FrontierCapture& cap) {
+  state.counters["supersteps"] = static_cast<double>(cap.frontiers.size());
+  state.counters["active_ratio"] =
+      cap.frontiers.empty()
+          ? 0.0
+          : static_cast<double>(cap.active_total) /
+                (static_cast<double>(cap.num_local) *
+                 static_cast<double>(cap.frontiers.size()));
+  // One state iteration replays every superstep: items/s ~ supersteps/s,
+  // i.e. the inverse of the per-superstep scan time.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cap.frontiers.size()));
+}
+
+void Frontier_SparseSuperstep_FullScan(benchmark::State& state) {
+  const auto& cap = road_frontiers(static_cast<int>(state.range(0)));
+  const auto sets = frontier_sets(cap);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const auto& s : sets) {
+      for (std::uint32_t lidx = 0; lidx < cap.num_local; ++lidx) {
+        if (s.test(lidx)) acc += lidx;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  report_frontier_counters(state, cap);
+}
+void Frontier_SparseSuperstep_WordScan(benchmark::State& state) {
+  const auto& cap = road_frontiers(static_cast<int>(state.range(0)));
+  const auto sets = frontier_sets(cap);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const auto& s : sets) {
+      s.for_each_set([&](std::uint32_t lidx) { acc += lidx; });
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  report_frontier_counters(state, cap);
+}
+BENCHMARK(Frontier_SparseSuperstep_FullScan)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(Frontier_SparseSuperstep_WordScan)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // ------------------------------------------------- partitioner edge cut ---
 
 void Partition_EdgeCut(benchmark::State& state) {

@@ -88,9 +88,10 @@ int main(int argc, char** argv) {
 
   std::vector<double> ranks(g.num_vertices(), 0.0);
   const auto stats = launch<PageRankWorker>(
-      dg, /*configure=*/nullptr, /*collect=*/[&](PageRankWorker& w, int) {
+      dg, /*configure=*/nullptr,
+      /*collect=*/[&](const PageRankWorker& w, int) {
         w.for_each_vertex(
-            [&](VertexT& v) { ranks[v.id()] = v.value().page_rank; });
+            [&](const VertexT& v) { ranks[v.id()] = v.value().page_rank; });
       });
 
   std::printf("PageRank over %u vertices / %llu edges on %d workers\n",

@@ -20,10 +20,13 @@ runtime::RunStats run_collect(
     Extract extract,
     const std::function<void(WorkerT&)>& configure = nullptr) {
   out.assign(dg.num_vertices(), OutT{});
-  return core::launch<WorkerT>(dg, configure, [&](WorkerT& w, int /*rank*/) {
-    w.for_each_vertex(
-        [&](auto& v) { out[v.id()] = extract(v); });
-  });
+  // Collection is read-only: take the worker const and use the const
+  // for_each_vertex overload, so extract sees `const VertexT&`.
+  return core::launch<WorkerT>(
+      dg, configure, [&](const WorkerT& w, int /*rank*/) {
+        w.for_each_vertex(
+            [&](const auto& v) { out[v.id()] = extract(v); });
+      });
 }
 
 /// Launch WorkerT and discard per-vertex results (benchmark runs).

@@ -37,7 +37,8 @@ using Vertex = core::Vertex<ValueT>;
 
 template <typename VertexT, typename MsgT>
   requires runtime::TriviallySerializable<MsgT>
-class BlockWorker : public core::EngineBase {
+class BlockWorker : public core::EngineBase,
+                    public core::VertexColumns<VertexT> {
  public:
   using ValueT = typename VertexT::value_type;
 
@@ -61,11 +62,7 @@ class BlockWorker : public core::EngineBase {
 
   void set_combiner(core::Combiner<MsgT> c) { combiner_ = std::move(c); }
 
-  // ---- access --------------------------------------------------------------
-
-  [[nodiscard]] VertexT& local_vertex(std::uint32_t lidx) {
-    return vertices_[lidx];
-  }
+  // ---- access (local_vertex / for_each_vertex come from VertexColumns) -----
 
   /// Messages delivered to a member vertex in the previous superstep.
   [[nodiscard]] std::span<const MsgT> messages_of(std::uint32_t lidx) const {
@@ -82,17 +79,19 @@ class BlockWorker : public core::EngineBase {
         Wire{env_.dg->local_index(dst), m});
   }
 
-  template <typename Fn>
-  void for_each_vertex(Fn&& fn) {
-    for (auto& v : vertices_) fn(v);
-  }
-
  protected:
   // ---- one superstep (EngineBase drives the loop) --------------------------
 
   void prepare() override { load(); }
 
   bool superstep() override {
+    // The block engine's frontier is block-grained: record the member
+    // count of the blocks that run b_compute this superstep.
+    std::uint64_t frontier = 0;
+    for (const auto& block : blocks_) {
+      if (block_active_[block.block_id]) frontier += block.members.size();
+    }
+    stats_.note_active(frontier);
     for (auto& block : blocks_) {
       if (!block_active_[block.block_id]) continue;
       block_active_[block.block_id] = 0;
@@ -112,18 +111,15 @@ class BlockWorker : public core::EngineBase {
   };
 
   void load() {
+    this->init_columns(*env_.dg, env_.rank);
     const std::uint32_t n = env_.dg->num_local(env_.rank);
-    vertices_.resize(n);
     // Group member vertices by block id; workers whose partition carries
     // no block information form one block per worker (whole-slice block).
     std::unordered_map<std::uint32_t, std::uint32_t> block_index;
     for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
-      VertexT& v = vertices_[lidx];
-      v.id_ = env_.dg->global_id(env_.rank, lidx);
-      v.edges_ = env_.dg->out(env_.rank, lidx);
-      v.active_ = true;
+      VertexT v = this->handle(lidx);
       init_vertex(v);
-      std::uint32_t b = env_.dg->block_of(v.id_);
+      std::uint32_t b = env_.dg->block_of(v.id());
       if (b == graph::kNoBlock) b = 0;
       auto [it, inserted] =
           block_index.try_emplace(b, static_cast<std::uint32_t>(blocks_.size()));
@@ -182,7 +178,7 @@ class BlockWorker : public core::EngineBase {
     }
   }
 
-  std::vector<VertexT> vertices_;
+  // Vertex state (values + frontier) lives in core::VertexColumns.
   std::vector<Block> blocks_;
   std::vector<std::uint32_t> lidx_block_;
   std::vector<std::uint8_t> block_active_;

@@ -104,7 +104,7 @@ class CombinedMessage : public Channel {
           has_[wire.lidx] = 1;
           touched_.push_back(wire.lidx);
         }
-        worker_->activate_local(wire.lidx);
+        worker_->activate_local(wire.lidx);  // atomic frontier word-OR
       }
     }
   }

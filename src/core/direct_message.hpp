@@ -77,7 +77,7 @@ class DirectMessage : public Channel {
         const auto wire = in.read<Wire>();
         if (incoming_[wire.lidx].empty()) touched_.push_back(wire.lidx);
         incoming_[wire.lidx].push_back(wire.value);
-        worker_->activate_local(wire.lidx);
+        worker_->activate_local(wire.lidx);  // atomic frontier word-OR
       }
     }
   }

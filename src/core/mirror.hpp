@@ -48,10 +48,10 @@ class MirrorScatter : public Channel {
         worker_(w),
         combiner_(std::move(combiner)),
         vals_(w->num_local(), combiner_.identity),
-        slot_(w->num_local(), combiner_.identity),
-        has_(w->num_local(), 0),
         adj_(w->num_local()),
         senders_(static_cast<std::size_t>(w->num_workers())),
+        slot_(w->num_local(), combiner_.identity),
+        has_(w->num_local(), 0),
         mirrors_(static_cast<std::size_t>(w->num_workers())),
         handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0) {}
 
@@ -143,7 +143,7 @@ class MirrorScatter : public Channel {
             has_[lidx] = 1;
             touched_.push_back(lidx);
           }
-          worker_->activate_local(lidx);
+          worker_->activate_local(lidx);  // atomic frontier word-OR
         }
       }
     }

@@ -112,7 +112,7 @@ class Propagation : public Channel {
         if (nv != vals_[t]) {
           vals_[t] = nv;
           push(t);
-          worker_->activate_local(t);
+          worker_->activate_local(t);  // atomic frontier word-OR
         }
       }
       for (const RemoteEdge& e : remote_adj_[u]) {

@@ -105,7 +105,7 @@ class PropagationW : public Channel {
         if (nv != vals_[e.lidx]) {
           vals_[e.lidx] = nv;
           push(e.lidx);
-          worker_->activate_local(e.lidx);
+          worker_->activate_local(e.lidx);  // atomic frontier word-OR
         }
       }
       for (const RemoteEdge& e : remote_adj_[u]) {

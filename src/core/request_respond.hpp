@@ -162,6 +162,8 @@ class RequestRespond : public Channel {
         const auto lidx = in.read<std::uint32_t>();
         // The requested vertex is "automatically involved": its response
         // value is produced here, no compute() needed (Section IV-C2).
+        // local_vertex returns a handle by value; respond_fn_ takes it as
+        // const VertexT&, which binds to the temporary for this call.
         replies.push_back(respond_fn_(worker_->local_vertex(lidx)));
       }
     }

@@ -160,7 +160,7 @@ class ScatterCombine : public Channel {
           has_[lidx] = 1;
           touched_.push_back(lidx);
         }
-        worker_->activate_local(lidx);
+        worker_->activate_local(lidx);  // atomic frontier word-OR
       }
     }
   }

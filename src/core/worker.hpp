@@ -14,6 +14,13 @@
 // The outer loop (superstep counter, quiescence vote, stats) lives in
 // EngineBase, shared with the PPWorker and BlockWorker baselines.
 //
+// Vertex state is structure-of-arrays (VertexColumns, DESIGN.md section
+// 6): a packed value column plus a runtime::ActiveSet frontier bitset.
+// "compute() on every locally active vertex" dispatches on frontier
+// density — a dense frontier runs the plain linear scan (all-active
+// workloads pay no overhead), a sparse one word-scans only the set bits —
+// and "while any vertex is active" is the ActiveSet's O(1) cached count.
+//
 // Wire format: every channel payload travels in its own ChannelFrame lane
 // (runtime/exchange.hpp) — serialize/deserialize misalignment throws
 // FrameMismatchError instead of silently corrupting later channels, and
@@ -21,9 +28,13 @@
 // patches in.
 //
 // Compute parallelism: PGCH_COMPUTE_THREADS (or set_compute_threads())
-// chunks the per-rank vertex loop across an intra-rank ComputePool; the
-// default of 1 preserves the exact sequential path. See DESIGN.md
-// section 3.
+// chunks the per-rank vertex loop across an intra-rank ComputePool.
+// Chunks are degree-aware: boundaries split the (out-degree + 1) prefix
+// sum, not the vertex count, so one hub-heavy chunk cannot serialize the
+// phase. Chunks stay contiguous and ascending, so the per-slot channel
+// staging replayed in slot order still reproduces the sequential call
+// sequence exactly. The default of 1 preserves the exact sequential path.
+// See DESIGN.md sections 3 and 6.
 //
 // Divergences from the paper's listing, both engine-internal:
 //  * channel activity is agreed on globally each round (a worker whose
@@ -46,6 +57,7 @@
 #include "core/types.hpp"
 #include "core/vertex.hpp"
 #include "graph/distributed.hpp"
+#include "runtime/active_set.hpp"
 #include "runtime/compute_pool.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/team.hpp"
@@ -110,6 +122,9 @@ class WorkerBase : public EngineBase {
 
   /// Re-activate a local vertex (message arrival). Channels call this from
   /// deserialize(); it is how voting-to-halt is simulated (Section IV-B).
+  /// Implemented as an atomic word-OR into the frontier bitset, so it is
+  /// also safe from concurrent contexts (e.g. a future parallel
+  /// deserialize) and from compute threads touching neighbouring bits.
   virtual void activate_local(std::uint32_t lidx) = 0;
 
  protected:
@@ -123,8 +138,9 @@ inline Channel::Channel(WorkerBase* worker, std::string name)
 
 /// The engine proper. VertexT must be core::Vertex<SomeValue>.
 template <typename VertexT>
-class Worker : public WorkerBase {
+class Worker : public WorkerBase, public VertexColumns<VertexT> {
  public:
+  using Columns = VertexColumns<VertexT>;
   using ValueT = typename VertexT::value_type;
 
   Worker() : compute_threads_(runtime::compute_threads_from_env()) {}
@@ -151,21 +167,14 @@ class Worker : public WorkerBase {
     return compute_threads_;
   }
 
-  [[nodiscard]] VertexT& local_vertex(std::uint32_t lidx) {
-    return vertices_[lidx];
-  }
-  [[nodiscard]] const VertexT& local_vertex(std::uint32_t lidx) const {
-    return vertices_[lidx];
-  }
-
   void activate_local(std::uint32_t lidx) override {
-    vertices_[lidx].activate();
+    this->active_.set(lidx);
   }
 
-  /// Iterate all local vertices (used by result collectors).
-  template <typename Fn>
-  void for_each_vertex(Fn&& fn) {
-    for (auto& v : vertices_) fn(v);
+  /// The frontier bitset (read-only): which local vertices run compute()
+  /// next superstep.
+  [[nodiscard]] const runtime::ActiveSet& frontier() const noexcept {
+    return this->active_;
   }
 
  protected:
@@ -176,6 +185,7 @@ class Worker : public WorkerBase {
 
   bool superstep() override {
     begin_superstep();
+    stats_.note_active(this->active_.count());
     compute_phase();
     communicate();
     return any_active_vertex();
@@ -187,35 +197,69 @@ class Worker : public WorkerBase {
 
  private:
   void load_vertices() {
+    this->init_columns(*env_.dg, env_.rank);
     const std::uint32_t n = num_local();
-    vertices_.resize(n);
     for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
-      VertexT& v = vertices_[lidx];
-      v.id_ = global_id(lidx);
-      v.edges_ = env_.dg->out(env_.rank, lidx);
-      v.active_ = true;
+      VertexT v = this->handle(lidx);
       detail::t_current_lidx = lidx;
       init_vertex(v);
     }
+    if (compute_threads_ > 1) build_degree_prefix();
   }
 
-  /// First vertex of `slot`'s contiguous chunk; chunks ascend with the
-  /// slot index, so replaying per-slot channel staging in slot order
+  /// Prefix sums of per-vertex chunk weights (out-degree + 1) over the
+  /// rank's slice, in local-index order — the load model for degree-aware
+  /// chunk splitting (the +1 keeps zero-degree vertices from collapsing
+  /// into one chunk). Built once; the CSR is immutable.
+  void build_degree_prefix() {
+    const std::uint32_t n = num_local();
+    degree_prefix_.resize(static_cast<std::size_t>(n) + 1);
+    degree_prefix_[0] = 0;
+    for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+      degree_prefix_[lidx + 1] =
+          degree_prefix_[lidx] + env_.dg->out(env_.rank, lidx).size() + 1;
+    }
+  }
+
+  /// First index of `slot`'s chunk under the weight model `prefix` (a
+  /// strictly increasing prefix-sum array): boundaries land where the
+  /// cumulative weight crosses total * slot / slots. Chunks ascend with
+  /// the slot index, so replaying per-slot channel staging in slot order
   /// reproduces the sequential (vertex-order) call sequence exactly.
-  static std::uint32_t chunk_begin(std::uint32_t n, int slots, int slot) {
+  static std::uint32_t chunk_begin(const std::vector<std::uint64_t>& prefix,
+                                   int slots, int slot) {
+    const std::uint64_t total = prefix.back();
+    const std::uint64_t target = total * static_cast<std::uint64_t>(slot) /
+                                 static_cast<std::uint64_t>(slots);
     return static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(n) * static_cast<std::uint32_t>(slot)) /
-        static_cast<std::uint32_t>(slots));
+        std::lower_bound(prefix.begin(), prefix.end(), target) -
+        prefix.begin());
+  }
+
+  void run_compute(std::uint32_t lidx) {
+    detail::t_current_lidx = lidx;
+    VertexT v = this->handle(lidx);
+    compute(v);
   }
 
   void compute_phase() {
-    const std::uint32_t n = static_cast<std::uint32_t>(vertices_.size());
+    const std::uint32_t n = num_local();
+    if (n == 0 || !this->active_.any()) return;
+    // Dense/sparse dispatch: shared with the baselines (VertexColumns).
+    const bool sparse = this->frontier_is_sparse();
     const int threads = compute_threads_;
-    if (threads <= 1 || n == 0) {
-      for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
-        if (!vertices_[lidx].is_active()) continue;
-        detail::t_current_lidx = lidx;
-        compute(vertices_[lidx]);
+
+    if (threads <= 1) {
+      if (sparse) {
+        // Sparse superstep: word-scan the frontier; cost scales with the
+        // active count, not V.
+        this->active_.for_each_set(
+            [this](std::uint32_t lidx) { run_compute(lidx); });
+      } else {
+        for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+          if (!this->active_.test(lidx)) continue;
+          run_compute(lidx);
+        }
       }
       return;
     }
@@ -224,25 +268,49 @@ class Worker : public WorkerBase {
       pool_ = std::make_unique<runtime::ComputePool>(threads);
     }
     for (Channel* c : channels_) c->begin_compute(threads);
-    pool_->run([&](int slot) {
-      detail::t_compute_slot = slot;
-      const std::uint32_t begin = chunk_begin(n, threads, slot);
-      const std::uint32_t end = chunk_begin(n, threads, slot + 1);
-      for (std::uint32_t lidx = begin; lidx < end; ++lidx) {
-        if (!vertices_[lidx].is_active()) continue;
-        detail::t_current_lidx = lidx;
-        compute(vertices_[lidx]);
+    if (sparse) {
+      // Materialize the frontier (ascending), weight it by degree, and
+      // split the *list* so every slot gets a contiguous, balanced run.
+      frontier_.clear();
+      this->active_.for_each_set(
+          [this](std::uint32_t lidx) { frontier_.push_back(lidx); });
+      frontier_weight_.resize(frontier_.size() + 1);
+      frontier_weight_[0] = 0;
+      for (std::size_t i = 0; i < frontier_.size(); ++i) {
+        frontier_weight_[i + 1] =
+            frontier_weight_[i] +
+            env_.dg->out(env_.rank, frontier_[i]).size() + 1;
       }
-      detail::t_compute_slot = 0;
-    });
+      pool_->run([&](int slot) {
+        detail::t_compute_slot = slot;
+        const std::uint32_t begin =
+            chunk_begin(frontier_weight_, threads, slot);
+        const std::uint32_t end =
+            chunk_begin(frontier_weight_, threads, slot + 1);
+        for (std::uint32_t i = begin; i < end; ++i) {
+          run_compute(frontier_[i]);
+        }
+        detail::t_compute_slot = 0;
+      });
+    } else {
+      pool_->run([&](int slot) {
+        detail::t_compute_slot = slot;
+        const std::uint32_t begin = chunk_begin(degree_prefix_, threads, slot);
+        const std::uint32_t end =
+            chunk_begin(degree_prefix_, threads, slot + 1);
+        for (std::uint32_t lidx = begin; lidx < end; ++lidx) {
+          if (!this->active_.test(lidx)) continue;
+          run_compute(lidx);
+        }
+        detail::t_compute_slot = 0;
+      });
+    }
     for (Channel* c : channels_) c->end_compute();
   }
 
+  /// O(1): the ActiveSet maintains an exact cached popcount.
   [[nodiscard]] bool any_active_vertex() const {
-    for (const auto& v : vertices_) {
-      if (v.is_active()) return true;
-    }
-    return false;
+    return this->active_.any();
   }
 
   /// The communication loop of Fig. 4: all channels start the superstep
@@ -287,9 +355,13 @@ class Worker : public WorkerBase {
     }
   }
 
-  std::vector<VertexT> vertices_;
   int compute_threads_ = 1;
   std::unique_ptr<runtime::ComputePool> pool_;
+
+  // Degree-aware chunking state (parallel compute phase only).
+  std::vector<std::uint64_t> degree_prefix_;    ///< all-vertex weights
+  std::vector<std::uint32_t> frontier_;         ///< sparse-superstep scratch
+  std::vector<std::uint64_t> frontier_weight_;  ///< its weight prefix
 };
 
 // ---------------------------------------------------------------------------
@@ -301,8 +373,8 @@ class Worker : public WorkerBase {
 /// caps, ...). `collect` (optional) is invoked on each rank's worker after
 /// the run; it executes concurrently across ranks, so it must only write
 /// rank-disjoint locations (e.g. index a global array by vertex id).
-/// Returns merged statistics: max wall time across ranks, global byte
-/// counts, per-channel and frame-overhead bytes summed over ranks.
+/// Returns the per-rank statistics folded with RunStats::merge_from (max
+/// wall time, summed per-rank counters, globally-agreed counts verbatim).
 template <typename WorkerT>
 runtime::RunStats launch(
     const graph::DistributedGraph& dg,
@@ -327,12 +399,7 @@ runtime::RunStats launch(
 
   runtime::RunStats merged = per_rank[0];
   for (int r = 1; r < num_workers; ++r) {
-    const auto& s = per_rank[static_cast<std::size_t>(r)];
-    merged.seconds = std::max(merged.seconds, s.seconds);
-    merged.frame_bytes += s.frame_bytes;
-    for (const auto& [name, bytes] : s.bytes_by_channel) {
-      merged.bytes_by_channel[name] += bytes;
-    }
+    merged.merge_from(per_rank[static_cast<std::size_t>(r)]);
   }
   return merged;
 }

@@ -11,9 +11,11 @@
 //     baked into the engine rather than composable: enabling them changes
 //     the engine's communication schedule for the whole program.
 //
-// It runs on the same runtime substrate (threads + buffer exchange) as the
-// channel engine, so benchmark comparisons measure exactly what the paper
-// measures: message volume and per-worker message-processing cost.
+// It runs on the same runtime substrate (threads + buffer exchange) AND
+// the same SoA vertex store (core::VertexColumns: packed value column +
+// ActiveSet frontier) as the channel engine, so benchmark comparisons
+// measure exactly what the paper measures — message volume and per-worker
+// message-processing cost — not storage-layout differences.
 //
 // Mode fidelity notes (Section V-B analyses):
 //   * reqresp responses are shipped as (id, value) PAIRS — Pregel+'s
@@ -54,7 +56,7 @@ inline constexpr int kNumAggSlots = 4;
 template <typename VertexT, typename MsgT, typename RespT = MsgT>
   requires runtime::TriviallySerializable<MsgT> &&
            runtime::TriviallySerializable<RespT>
-class PPWorker : public core::EngineBase {
+class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
  public:
   using ValueT = typename VertexT::value_type;
 
@@ -148,16 +150,7 @@ class PPWorker : public core::EngineBase {
   void dagg_add(double v) { dagg_partial_ += v; }
   [[nodiscard]] double dagg_result() const { return dagg_result_; }
 
-  // ---- results --------------------------------------------------------------
-
-  [[nodiscard]] VertexT& local_vertex(std::uint32_t lidx) {
-    return vertices_[lidx];
-  }
-
-  template <typename Fn>
-  void for_each_vertex(Fn&& fn) {
-    for (auto& v : vertices_) fn(v);
-  }
+  // ---- results (local_vertex / for_each_vertex come from VertexColumns) ----
 
  protected:
   // ---- one superstep (EngineBase drives the loop) ---------------------------
@@ -166,6 +159,7 @@ class PPWorker : public core::EngineBase {
 
   bool superstep() override {
     begin_superstep();
+    stats_.note_active(this->active_.count());
     compute_phase();
     message_round();
     ++stats_.comm_rounds;
@@ -195,30 +189,37 @@ class PPWorker : public core::EngineBase {
   }
 
   void load_vertices() {
+    this->init_columns(*env_.dg, env_.rank);
     const std::uint32_t n = num_local();
-    vertices_.resize(n);
     for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
-      VertexT& v = vertices_[lidx];
-      v.id_ = env_.dg->global_id(env_.rank, lidx);
-      v.edges_ = env_.dg->out(env_.rank, lidx);
-      v.active_ = true;
+      VertexT v = this->handle(lidx);
       init_vertex(v);
     }
   }
 
   void compute_phase() {
-    for (std::uint32_t lidx = 0;
-         lidx < static_cast<std::uint32_t>(vertices_.size()); ++lidx) {
-      if (!vertices_[lidx].is_active()) continue;
-      compute(vertices_[lidx], incoming_[lidx]);
+    const std::uint32_t n = num_local();
+    if (n == 0 || !this->active_.any()) return;
+    // Same dense/sparse frontier dispatch as the channel engine (the
+    // threshold lives in VertexColumns): a sparse superstep word-scans
+    // the ActiveSet instead of scanning all V.
+    if (this->frontier_is_sparse()) {
+      this->active_.for_each_set([this](std::uint32_t lidx) {
+        VertexT v = this->handle(lidx);
+        compute(v, incoming_[lidx]);
+      });
+    } else {
+      for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+        if (!this->active_.test(lidx)) continue;
+        VertexT v = this->handle(lidx);
+        compute(v, incoming_[lidx]);
+      }
     }
   }
 
+  /// O(1): the ActiveSet's cached popcount.
   [[nodiscard]] bool any_active_vertex() const {
-    for (const auto& v : vertices_) {
-      if (v.is_active()) return true;
-    }
-    return false;
+    return this->active_.any();
   }
 
   // Ghost-mode send path for one high-degree vertex.
@@ -339,7 +340,7 @@ class PPWorker : public core::EngineBase {
       if (box.empty()) touched_.push_back(wire.lidx);
       box.push_back(wire.value);
     }
-    vertices_[wire.lidx].activate();
+    this->active_.set(wire.lidx);  // message arrival re-activates
   }
 
   // Round 2 (reqresp): deduplicated request id lists.
@@ -375,8 +376,8 @@ class PPWorker : public core::EngineBase {
       for (std::uint32_t i = 0; i < n; ++i) {
         const auto lidx = in.read<std::uint32_t>();
         // Pregel+ ships the requested vertex's *id* back with each value.
-        replies.push_back(RespWire{vertices_[lidx].id(),
-                                   respond(vertices_[lidx])});
+        const VertexT v = this->local_vertex(lidx);
+        replies.push_back(RespWire{v.id(), respond(v)});
       }
     }
   }
@@ -418,7 +419,7 @@ class PPWorker : public core::EngineBase {
     RespT value;
   };
 
-  std::vector<VertexT> vertices_;
+  // Vertex state (values + frontier) lives in core::VertexColumns.
 
   // Messaging state.
   std::optional<core::Combiner<MsgT>> combiner_;

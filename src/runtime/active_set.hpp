@@ -1,0 +1,208 @@
+#pragma once
+// ActiveSet: the engine frontier — which local vertices run compute() this
+// superstep (DESIGN.md section 6).
+//
+// A packed 64-bit-word bitset over the rank's local index space with
+//  * atomic word-OR/AND mutation, so parallel compute threads (vertices of
+//    one word split across ComputePool chunks) and channel deserialize can
+//    flip bits without a lock,
+//  * an exact cached popcount (set()/clear() learn from the previous word
+//    value whether the bit actually flipped), making the engine's
+//    "any vertex still active?" vote O(1) instead of O(V),
+//  * a word-scan iterator (countr_zero, clearing the lowest set bit) so a
+//    sparse superstep visits only set bits instead of all V.
+//
+// Iteration reads each word once (a snapshot); bits set or cleared in a
+// word after it was loaded are not revisited. Engines only mutate the set
+// from the iterating thread's own vertex (vote_to_halt/activate on self)
+// or between supersteps (channel deserialize), so snapshot iteration
+// matches the sequential visit order.
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+
+namespace pregel::runtime {
+
+class ActiveSet {
+ public:
+  ActiveSet() = default;
+  explicit ActiveSet(std::uint32_t n, bool value = false) { reset(n, value); }
+
+  // Movable (so sets can sit in containers); the atomic count is carried
+  // over with a plain load — moving concurrently with set/clear is a race
+  // by contract, like any container move.
+  ActiveSet(ActiveSet&& other) noexcept
+      : size_(other.size_),
+        num_words_(other.num_words_),
+        words_(std::move(other.words_)),
+        count_(other.count_.load(std::memory_order_relaxed)) {
+    other.size_ = 0;
+    other.num_words_ = 0;
+    other.count_.store(0, std::memory_order_relaxed);
+  }
+  ActiveSet& operator=(ActiveSet&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      num_words_ = other.num_words_;
+      words_ = std::move(other.words_);
+      count_.store(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      other.size_ = 0;
+      other.num_words_ = 0;
+      other.count_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  /// Resize to n bits, all set to `value`. Not thread-safe (load time).
+  void reset(std::uint32_t n, bool value) {
+    size_ = n;
+    num_words_ = (static_cast<std::size_t>(n) + 63) / 64;
+    words_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_words_);
+    fill(value);
+  }
+
+  /// Set every bit to `value`. Not thread-safe against concurrent set/clear.
+  void fill(bool value) {
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      words_[w].store(0, std::memory_order_relaxed);
+    }
+    if (value && size_ != 0) {
+      for (std::size_t w = 0; w + 1 < num_words_; ++w) {
+        words_[w].store(~std::uint64_t{0}, std::memory_order_relaxed);
+      }
+      const std::uint32_t tail = size_ & 63u;
+      words_[num_words_ - 1].store(
+          tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1,
+          std::memory_order_relaxed);
+    }
+    count_.store(value ? size_ : 0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+  /// Exact number of set bits, O(1): the cache is maintained by set() and
+  /// clear() observing the previous word value of their atomic RMW.
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool any() const noexcept { return count() != 0; }
+
+  [[nodiscard]] bool test(std::uint32_t i) const noexcept {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >>
+            (i & 63u)) & 1u;
+  }
+
+  /// Atomically set bit i (word-OR). Returns true if the bit flipped
+  /// 0 -> 1. Safe from any thread.
+  bool set(std::uint32_t i) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63u);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    if ((old & mask) != 0) return false;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Atomically clear bit i (word-AND). Returns true if the bit flipped
+  /// 1 -> 0. Safe from any thread.
+  bool clear(std::uint32_t i) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63u);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_and(~mask, std::memory_order_relaxed);
+    if ((old & mask) == 0) return false;
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Visit every set bit in ascending order (word snapshot + countr_zero).
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      std::uint64_t bits = words_[w].load(std::memory_order_relaxed);
+      while (bits != 0) {
+        const auto bit = static_cast<std::uint32_t>(std::countr_zero(bits));
+        fn(static_cast<std::uint32_t>(w * 64 + bit));
+        bits &= bits - 1;  // drop the lowest set bit
+      }
+    }
+  }
+
+  /// Forward iterator over the set bits, ascending. Same snapshot
+  /// semantics as for_each_set.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint32_t*;
+    using reference = std::uint32_t;
+
+    const_iterator() = default;
+
+    std::uint32_t operator*() const noexcept {
+      return static_cast<std::uint32_t>(
+          word_ * 64 + static_cast<std::uint32_t>(std::countr_zero(bits_)));
+    }
+
+    const_iterator& operator++() noexcept {
+      bits_ &= bits_ - 1;
+      skip_empty_words();
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator prev = *this;
+      ++*this;
+      return prev;
+    }
+
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.word_ == b.word_ && a.bits_ == b.bits_;
+    }
+    friend bool operator!=(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return !(a == b);
+    }
+
+   private:
+    friend class ActiveSet;
+    const_iterator(const ActiveSet* set, std::size_t word)
+        : set_(set), word_(word) {
+      if (word_ < set_->num_words_) {
+        bits_ = set_->words_[word_].load(std::memory_order_relaxed);
+        skip_empty_words();
+      }
+    }
+
+    void skip_empty_words() noexcept {
+      while (bits_ == 0 && ++word_ < set_->num_words_) {
+        bits_ = set_->words_[word_].load(std::memory_order_relaxed);
+      }
+    }
+
+    const ActiveSet* set_ = nullptr;
+    std::size_t word_ = 0;
+    std::uint64_t bits_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, num_words_);
+  }
+
+ private:
+  std::uint32_t size_ = 0;
+  std::size_t num_words_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+  std::atomic<std::uint32_t> count_{0};
+};
+
+}  // namespace pregel::runtime

@@ -1,9 +1,44 @@
 #include "runtime/stats.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
 namespace pregel::runtime {
+
+void RunStats::merge_from(const RunStats& other) {
+  // Wall time: ranks run concurrently, the run takes as long as the
+  // slowest rank.
+  seconds = std::max(seconds, other.seconds);
+  // Supersteps and communication rounds are collective — the quiescence
+  // vote and the round loop keep every rank in lock-step, so all ranks
+  // report the same number. max() keeps the merge well-defined even if an
+  // engine ever diverges.
+  supersteps = std::max(supersteps, other.supersteps);
+  comm_rounds = std::max(comm_rounds, other.comm_rounds);
+  // Exchange totals are read from the *shared* BufferExchange after the
+  // loop: every rank already reports the team-global value. Summing would
+  // multiply by the rank count.
+  message_bytes = std::max(message_bytes, other.message_bytes);
+  message_batches = std::max(message_batches, other.message_batches);
+  // Frame overhead and per-channel payload bytes are accounted per rank
+  // (each rank counts what it serialized), so the global figure is the
+  // sum.
+  frame_bytes += other.frame_bytes;
+  for (const auto& [name, bytes] : other.bytes_by_channel) {
+    bytes_by_channel[name] += bytes;
+  }
+  // Frontier sizes are per-rank counts of local vertices: the global
+  // frontier of a superstep is their sum, element-wise (ranks agree on
+  // the superstep count; tolerate a short tail anyway).
+  if (other.active_per_superstep.size() > active_per_superstep.size()) {
+    active_per_superstep.resize(other.active_per_superstep.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.active_per_superstep.size(); ++i) {
+    active_per_superstep[i] += other.active_per_superstep[i];
+  }
+  active_vertex_total += other.active_vertex_total;
+}
 
 std::string RunStats::summary() const {
   std::ostringstream os;
@@ -23,6 +58,11 @@ std::string RunStats::detailed() const {
   if (frame_bytes != 0) {
     os << "  frame overhead: " << std::fixed << std::setprecision(2)
        << static_cast<double>(frame_bytes) / (1024.0 * 1024.0) << " MB\n";
+  }
+  if (active_vertex_total != 0 && !active_per_superstep.empty()) {
+    os << "  active vertices: " << active_vertex_total << " total, "
+       << active_vertex_total / active_per_superstep.size()
+       << " avg/superstep\n";
   }
   return os.str();
 }

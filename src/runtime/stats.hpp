@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace pregel::runtime {
 
@@ -25,6 +26,24 @@ struct RunStats {
   /// Payload bytes attributed to each named channel (channel-engine runs
   /// only), as accounted by the exchange's frame lengths.
   std::map<std::string, std::uint64_t> bytes_by_channel;
+
+  /// Frontier sizes: how many vertices were active entering each
+  /// superstep (index 0 = superstep 1), and their sum over the run —
+  /// compute() work actually done, as opposed to supersteps * V.
+  std::vector<std::uint64_t> active_per_superstep;
+  std::uint64_t active_vertex_total = 0;
+
+  /// Record one superstep's frontier size (engines call this at superstep
+  /// start, after begin_superstep()).
+  void note_active(std::uint64_t n) {
+    active_per_superstep.push_back(n);
+    active_vertex_total += n;
+  }
+
+  /// Fold another rank's stats of the same run into this one, explicitly
+  /// per field: per-rank counters are summed, globally-agreed quantities
+  /// kept verbatim, wall time maxed. See stats.cpp for the field map.
+  void merge_from(const RunStats& other);
 
   [[nodiscard]] double message_mb() const {
     return static_cast<double>(message_bytes) / (1024.0 * 1024.0);

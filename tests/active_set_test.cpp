@@ -1,0 +1,243 @@
+// ActiveSet (runtime/active_set.hpp) unit tests — word-scan iteration,
+// cached popcount, atomic activation under a ComputePool — plus
+// engine-level frontier tests: supersteps stop exactly when the frontier
+// empties, message arrival reactivates, and launch() merges per-rank
+// frontier counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/runner.hpp"
+#include "core/pregel_channel.hpp"
+#include "runtime/active_set.hpp"
+#include "runtime/compute_pool.hpp"
+
+namespace {
+
+using pregel::runtime::ActiveSet;
+using pregel::runtime::ComputePool;
+
+// ------------------------------------------------------------- unit ------
+
+TEST(ActiveSet, SetClearTestAndCount) {
+  ActiveSet s(200, /*value=*/false);
+  EXPECT_EQ(s.size(), 200u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.any());
+
+  EXPECT_TRUE(s.set(0));
+  EXPECT_TRUE(s.set(63));
+  EXPECT_TRUE(s.set(64));
+  EXPECT_TRUE(s.set(199));
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.any());
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(199));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_FALSE(s.test(65));
+
+  // The popcount cache must not drift on redundant operations.
+  EXPECT_FALSE(s.set(63));  // already set
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.clear(63));
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_FALSE(s.clear(63));  // already clear
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_FALSE(s.test(63));
+}
+
+TEST(ActiveSet, FillAllRespectsPartialTailWord) {
+  ActiveSet s(70, /*value=*/true);
+  EXPECT_EQ(s.count(), 70u);
+  for (std::uint32_t i = 0; i < 70; ++i) {
+    EXPECT_TRUE(s.test(i)) << "bit " << i;
+  }
+  s.fill(false);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.any());
+
+  // Exactly-64 sizes exercise the tail == 0 branch.
+  ActiveSet full(64, /*value=*/true);
+  EXPECT_EQ(full.count(), 64u);
+  EXPECT_TRUE(full.test(63));
+}
+
+TEST(ActiveSet, WordScanIterationAscending) {
+  ActiveSet s(300, /*value=*/false);
+  const std::vector<std::uint32_t> bits = {0, 1, 63, 64, 127, 128, 191, 299};
+  for (const auto b : bits) s.set(b);
+
+  std::vector<std::uint32_t> via_fn;
+  s.for_each_set([&](std::uint32_t i) { via_fn.push_back(i); });
+  EXPECT_EQ(via_fn, bits);
+
+  std::vector<std::uint32_t> via_iter(s.begin(), s.end());
+  EXPECT_EQ(via_iter, bits);
+}
+
+TEST(ActiveSet, EmptyAndZeroSizedIteration) {
+  ActiveSet empty(128, /*value=*/false);
+  EXPECT_EQ(empty.begin(), empty.end());
+
+  ActiveSet zero(0, /*value=*/false);
+  EXPECT_EQ(zero.begin(), zero.end());
+  EXPECT_EQ(zero.count(), 0u);
+}
+
+// Concurrent set() from every ComputePool slot, interleaved inside shared
+// words: the word-OR must lose no bit and the cached popcount must be
+// exact afterwards.
+TEST(ActiveSet, AtomicActivationUnderComputePool) {
+  constexpr std::uint32_t kN = 64 * 1024;
+  constexpr int kSlots = 4;
+  ActiveSet s(kN, /*value=*/false);
+  ComputePool pool(kSlots);
+  pool.run([&](int slot) {
+    // Slot s sets bits congruent to s mod kSlots: every 64-bit word is
+    // written by all slots concurrently.
+    for (std::uint32_t i = static_cast<std::uint32_t>(slot); i < kN;
+         i += kSlots) {
+      s.set(i);
+    }
+  });
+  EXPECT_EQ(s.count(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s.test(i)) << "bit " << i;
+  }
+}
+
+// Mixed set/clear on disjoint bits of shared words stays exact.
+TEST(ActiveSet, ConcurrentSetAndClearSameWords) {
+  constexpr std::uint32_t kN = 16 * 1024;
+  ActiveSet s(kN, /*value=*/false);
+  for (std::uint32_t i = 0; i < kN; i += 2) s.set(i);  // even bits on
+  ComputePool pool(2);
+  pool.run([&](int slot) {
+    if (slot == 0) {
+      for (std::uint32_t i = 0; i < kN; i += 2) s.clear(i);
+    } else {
+      for (std::uint32_t i = 1; i < kN; i += 2) s.set(i);
+    }
+  });
+  EXPECT_EQ(s.count(), kN / 2);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(s.test(i), i % 2 == 1) << "bit " << i;
+  }
+}
+
+// ----------------------------------------------------------- engine ------
+
+using namespace pregel;
+using namespace pregel::core;
+
+graph::DistributedGraph make_ring(graph::VertexId n, int workers) {
+  graph::Graph g(n);
+  for (graph::VertexId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return graph::DistributedGraph(g, graph::hash_partition(n, workers));
+}
+
+struct CountdownValue {
+  int computes = 0;
+};
+using CountdownVertex = Vertex<CountdownValue>;
+
+/// Vertex id stays active through superstep id+1 then halts; no channels,
+/// so nothing ever reactivates. The frontier shrinks by exactly one vertex
+/// per superstep and the run must stop the moment it empties.
+class CountdownWorker : public Worker<CountdownVertex> {
+ public:
+  void compute(CountdownVertex& v) override {
+    v.value().computes++;
+    if (static_cast<graph::VertexId>(step_num()) >= v.id() + 1) {
+      v.vote_to_halt();
+    }
+  }
+};
+
+TEST(EngineFrontier, SuperstepsStopExactlyWhenFrontierEmpties) {
+  constexpr graph::VertexId kN = 24;
+  const auto dg = make_ring(kN, 4);
+  std::vector<int> computes;
+  const auto stats = algo::run_collect<CountdownWorker>(
+      dg, computes,
+      [](const CountdownVertex& v) { return v.value().computes; });
+
+  // Vertex id computes exactly id+1 times.
+  for (graph::VertexId v = 0; v < kN; ++v) {
+    EXPECT_EQ(computes[v], static_cast<int>(v) + 1) << "vertex " << v;
+  }
+  // The run stops exactly when the last vertex (id kN-1) halts.
+  EXPECT_EQ(stats.supersteps, static_cast<int>(kN));
+  // Merged per-superstep frontier: kN, kN-1, ..., 1 (summed over ranks by
+  // launch()'s explicit stats merge).
+  ASSERT_EQ(stats.active_per_superstep.size(), static_cast<std::size_t>(kN));
+  for (std::size_t s = 0; s < stats.active_per_superstep.size(); ++s) {
+    EXPECT_EQ(stats.active_per_superstep[s], kN - s) << "superstep " << s + 1;
+  }
+  EXPECT_EQ(stats.active_vertex_total,
+            std::uint64_t{kN} * (std::uint64_t{kN} + 1) / 2);
+}
+
+struct TokenValue {
+  int received = 0;
+};
+using TokenVertex = Vertex<TokenValue>;
+
+/// Vertex 0 sends a token around the ring; everyone else votes to halt
+/// until it arrives. After superstep 1 exactly ONE vertex is active per
+/// superstep — a frontier of 1/n, deep in the sparse regime — and the run
+/// ends when the token returns to vertex 0.
+class SparseTokenWorker : public Worker<TokenVertex> {
+ public:
+  void compute(TokenVertex& v) override {
+    if (step_num() == 1) {
+      if (v.id() == 0) msg_.send_message(v.edges()[0].dst, 1);
+      v.vote_to_halt();
+      return;
+    }
+    for (const int t : msg_.get_iterator()) {
+      v.value().received += t;
+      if (v.id() != 0) msg_.send_message(v.edges()[0].dst, t);
+    }
+    v.vote_to_halt();
+  }
+
+ private:
+  DirectMessage<TokenVertex, int> msg_{this, "token"};
+};
+
+void expect_token_ring_run(int threads) {
+  constexpr graph::VertexId kN = 96;  // frontier 1/96 << 1/4: sparse scan
+  const auto dg = make_ring(kN, 3);
+  std::vector<int> received;
+  const auto stats = algo::run_collect<SparseTokenWorker>(
+      dg, received, [](const TokenVertex& v) { return v.value().received; },
+      [threads](SparseTokenWorker& w) { w.set_compute_threads(threads); });
+
+  for (graph::VertexId v = 0; v < kN; ++v) {
+    EXPECT_EQ(received[v], 1) << "vertex " << v;
+  }
+  EXPECT_EQ(stats.supersteps, static_cast<int>(kN) + 1);
+  ASSERT_EQ(stats.active_per_superstep.size(),
+            static_cast<std::size_t>(kN) + 1);
+  EXPECT_EQ(stats.active_per_superstep[0], kN);  // superstep 1: everyone
+  for (std::size_t s = 1; s < stats.active_per_superstep.size(); ++s) {
+    EXPECT_EQ(stats.active_per_superstep[s], 1u) << "superstep " << s + 1;
+  }
+  EXPECT_EQ(stats.active_vertex_total, std::uint64_t{kN} + kN);
+}
+
+TEST(EngineFrontier, ReactivationDrivesSparseSupersteps) {
+  expect_token_ring_run(/*threads=*/1);
+}
+
+TEST(EngineFrontier, SparseFrontierParallelComputeMatchesSequential) {
+  expect_token_ring_run(/*threads=*/3);
+}
+
+}  // namespace
