@@ -45,6 +45,10 @@ inline const bool kNetDefaulted = [] {
 }();
 
 inline int num_workers() {
+  // A multi-process run (tools/pgch_launch sets PGCH_WORLD) dictates the
+  // partition's worker count; PGCH_BENCH_WORKERS tunes in-process runs.
+  const int world = pregel::core::LaunchConfig::from_env().world_size;
+  if (world > 0) return world;
   if (const char* env = std::getenv("PGCH_BENCH_WORKERS")) {
     const int w = std::atoi(env);
     if (w > 0) return w;

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       argc > 1 && !loaded ? static_cast<graph::VertexId>(std::atoi(argv[1]))
                           : 200'000;
   const double avg_degree = argc > 2 ? std::atof(argv[2]) : 3.1;
-  const int workers = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int workers = examples::num_workers_arg(argc, argv, 3, 4);
 
   const graph::Graph g = loaded ? loaded->symmetrized()
                                 : graph::random_undirected(n, avg_degree, 11);

@@ -9,12 +9,29 @@
 // synthetic input.
 
 #include <cctype>
+#include <cstdlib>
 #include <optional>
 
+#include "core/launch_config.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 
 namespace examples {
+
+/// Worker count for an example run. A multi-process run (tools/
+/// pgch_launch sets PGCH_WORLD) dictates the partition's worker count —
+/// every rank must build the identical partition — so it overrides the
+/// positional argument; otherwise argv[index] (when present), else
+/// `fallback`.
+inline int num_workers_arg(int argc, char** argv, int index, int fallback) {
+  const int world = pregel::core::LaunchConfig::from_env().world_size;
+  if (world > 0) return world;
+  if (argc > index) {
+    const int w = std::atoi(argv[index]);
+    if (w > 0) return w;
+  }
+  return fallback;
+}
 
 inline bool numeric(const char* s) {
   if (*s == '\0') return false;

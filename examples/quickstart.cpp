@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   const graph::VertexId n =
       argc > 1 && !from_file ? static_cast<graph::VertexId>(std::atoi(argv[1]))
                              : 100'000;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int workers = examples::num_workers_arg(argc, argv, 2, 4);
 
   // A skewed web-like graph, or the dataset named on the command line.
   const graph::CsrGraph g =

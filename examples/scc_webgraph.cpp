@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const graph::VertexId n =
       argc > 1 && !loaded ? static_cast<graph::VertexId>(std::atoi(argv[1]))
                           : 60'000;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int workers = examples::num_workers_arg(argc, argv, 2, 4);
 
   // Web-like digraph: skewed in/out degrees, a large central SCC and many
   // small/trivial ones — the structure Min-Label exploits. A dataset named

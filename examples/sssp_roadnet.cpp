@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const graph::VertexId side =
       argc > 1 && !loaded ? static_cast<graph::VertexId>(std::atoi(argv[1]))
                           : 250;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int workers = examples::num_workers_arg(argc, argv, 2, 4);
   const graph::VertexId source =
       argc > 3 ? static_cast<graph::VertexId>(std::atoi(argv[3])) : 0;
 

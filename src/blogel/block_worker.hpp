@@ -85,6 +85,7 @@ class BlockWorker : public core::EngineBase,
   void prepare() override { load(); }
 
   bool superstep() override {
+    const auto c0 = Clock::now();
     // The block engine's frontier is block-grained: record the member
     // count of the blocks that run b_compute this superstep.
     std::uint64_t frontier = 0;
@@ -97,8 +98,11 @@ class BlockWorker : public core::EngineBase,
       block_active_[block.block_id] = 0;
       b_compute(block);
     }
+    const auto c1 = Clock::now();
     communicate();
     ++stats_.comm_rounds;
+    stats_.compute_seconds += seconds_between(c0, c1);
+    stats_.comm_seconds += seconds_between(c1, Clock::now());
     bool any = false;
     for (const auto a : block_active_) any = any || (a != 0);
     return any;

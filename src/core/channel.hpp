@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "graph/distributed.hpp"
-#include "runtime/barrier.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/exchange.hpp"
+#include "runtime/transport.hpp"
 
 namespace pregel::core {
 
@@ -23,11 +23,13 @@ namespace detail {
 /// Everything a worker rank shares with its team for one run. Created by
 /// launch(); reached by Worker's constructor through a thread-local so the
 /// user's worker subclass keeps the paper's `Channel c{this, ...}` shape.
+/// The transport doubles as the control lane: barriers and the
+/// quiescence/channel-activity votes go through it, so the same engine
+/// code runs over threads and over sockets.
 struct Env {
   const graph::DistributedGraph* dg = nullptr;
-  runtime::Barrier* barrier = nullptr;
-  runtime::BufferExchange* exchange = nullptr;
-  runtime::AllReducer<std::uint64_t>* reducer = nullptr;
+  runtime::Exchange* exchange = nullptr;
+  runtime::Transport* transport = nullptr;
   int rank = 0;
 };
 

@@ -61,21 +61,24 @@ class EngineBase {
   /// of the team calls run() on its own engine instance.
   runtime::RunStats run() {
     prepare();
-    env_.barrier->arrive_and_wait();
+    env_.transport->barrier(env_.rank);
 
     const auto t0 = std::chrono::steady_clock::now();
     step_ = 0;
     while (true) {
       ++step_;
+      const std::uint64_t sent_before = env_.exchange->sent_bytes(env_.rank);
       const bool any_local_active = superstep();
-      if (!env_.reducer->any(env_.rank, any_local_active)) break;
+      stats_.bytes_per_superstep.push_back(
+          env_.exchange->sent_bytes(env_.rank) - sent_before);
+      if (!env_.transport->vote_any(env_.rank, any_local_active)) break;
     }
     const auto t1 = std::chrono::steady_clock::now();
 
     stats_.seconds = std::chrono::duration<double>(t1 - t0).count();
     stats_.supersteps = step_;
-    stats_.message_bytes = env_.exchange->total_bytes();
-    stats_.message_batches = env_.exchange->total_batches();
+    stats_.message_bytes = env_.exchange->sent_bytes(env_.rank);
+    stats_.message_batches = env_.exchange->sent_batches(env_.rank);
     finish_stats();
     return stats_;
   }
@@ -104,6 +107,13 @@ class EngineBase {
 
   /// Hook for engine-specific stats finalization after the loop.
   virtual void finish_stats() {}
+
+  /// Timing helpers for the compute/communication wall-time split the
+  /// engines accumulate into RunStats per superstep.
+  using Clock = std::chrono::steady_clock;
+  static double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
 
   detail::Env env_;
   int step_ = 0;

@@ -1,0 +1,127 @@
+#pragma once
+// LaunchConfig: how launch() maps the worker team onto hardware
+// (DESIGN.md section 7).
+//
+// Default (kInProcess): one process, one thread per rank, buffer exchange
+// is the matrix swap — the original simulator substrate. kTcp: THIS
+// process is exactly one rank of a multi-process team; peers are separate
+// processes (same host or not) reached over persistent sockets.
+//
+// The environment form is what tools/pgch_launch sets for each process it
+// spawns, so any existing example or bench becomes distributed without a
+// code change:
+//
+//   PGCH_TRANSPORT  "tcp" (anything else / unset = in-process)
+//   PGCH_RANK       this process's rank, 0-based
+//   PGCH_WORLD      team size (must equal the partition's worker count)
+//   PGCH_PORT_BASE  rank r listens on port PGCH_PORT_BASE + r (default
+//                   29500)
+//   PGCH_HOSTS      optional comma-separated per-rank "host[:port]" list
+//                   for multi-host runs; missing entries default to
+//                   127.0.0.1:PGCH_PORT_BASE+r
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/tcp_transport.hpp"
+#include "runtime/transport.hpp"
+
+namespace pregel::core {
+
+struct LaunchConfig {
+  runtime::TransportKind transport = runtime::TransportKind::kInProcess;
+  int rank = 0;        ///< this process's rank (kTcp only)
+  int world_size = 0;  ///< 0 = take the partition's worker count
+  int port_base = 29500;
+  /// Per-rank "host[:port]" endpoints; empty or short = loopback defaults.
+  std::vector<std::string> hosts;
+  double connect_timeout_s = 30.0;
+
+  /// The PGCH_* environment form above; unset variables leave defaults.
+  static LaunchConfig from_env() {
+    LaunchConfig cfg;
+    if (const char* t = std::getenv("PGCH_TRANSPORT")) {
+      const std::string kind(t);
+      if (kind == "tcp") {
+        cfg.transport = runtime::TransportKind::kTcp;
+      } else if (kind != "inprocess" && !kind.empty()) {
+        throw std::invalid_argument(
+            "PGCH_TRANSPORT must be 'tcp' or 'inprocess', got '" + kind +
+            "'");
+      }
+    }
+    if (const char* r = std::getenv("PGCH_RANK")) cfg.rank = std::atoi(r);
+    if (const char* w = std::getenv("PGCH_WORLD")) {
+      cfg.world_size = std::atoi(w);
+    }
+    if (const char* p = std::getenv("PGCH_PORT_BASE")) {
+      cfg.port_base = std::atoi(p);
+    }
+    if (const char* h = std::getenv("PGCH_HOSTS")) {
+      std::string entry;
+      for (const char* c = h;; ++c) {
+        if (*c == ',' || *c == '\0') {
+          cfg.hosts.push_back(entry);
+          entry.clear();
+          if (*c == '\0') break;
+        } else {
+          entry += *c;
+        }
+      }
+    }
+    return cfg;
+  }
+
+  /// Rank `r`'s listen endpoint under this config: the hosts entry when
+  /// present, else loopback at port_base + r. Entry forms: "host",
+  /// "host:port", and for IPv6 literals "addr" or "[addr]:port" (a bare
+  /// literal with multiple colons is taken as all-host; brackets are
+  /// required to attach a port to one).
+  [[nodiscard]] runtime::TcpEndpoint endpoint_of(int r) const {
+    const int default_port = port_base + r;
+    if (default_port <= 0 || default_port > 65535) {
+      throw std::invalid_argument(
+          "PGCH_PORT_BASE: rank " + std::to_string(r) +
+          "'s port " + std::to_string(default_port) +
+          " is outside 1..65535");
+    }
+    runtime::TcpEndpoint ep;
+    ep.port = static_cast<std::uint16_t>(default_port);
+    if (static_cast<std::size_t>(r) >= hosts.size() ||
+        hosts[static_cast<std::size_t>(r)].empty()) {
+      return ep;
+    }
+    const std::string& entry = hosts[static_cast<std::size_t>(r)];
+    if (entry.front() == '[') {
+      const std::size_t close = entry.find(']');
+      if (close == std::string::npos) {
+        throw std::invalid_argument("PGCH_HOSTS: unterminated '[' in \"" +
+                                    entry + "\"");
+      }
+      ep.host = entry.substr(1, close - 1);
+      if (close + 1 < entry.size()) {
+        if (entry[close + 1] != ':') {
+          throw std::invalid_argument(
+              "PGCH_HOSTS: expected ':' after ']' in \"" + entry + "\"");
+        }
+        ep.port =
+            static_cast<std::uint16_t>(std::atoi(entry.c_str() + close + 2));
+      }
+      return ep;
+    }
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || entry.find(':', colon + 1) !=
+                                          std::string::npos) {
+      ep.host = entry;  // no port, or an unbracketed IPv6 literal
+    } else {
+      ep.host = entry.substr(0, colon);
+      ep.port =
+          static_cast<std::uint16_t>(std::atoi(entry.c_str() + colon + 1));
+    }
+    return ep;
+  }
+};
+
+}  // namespace pregel::core

@@ -54,6 +54,7 @@
 
 #include "core/channel.hpp"
 #include "core/engine_base.hpp"
+#include "core/launch_config.hpp"
 #include "core/types.hpp"
 #include "core/vertex.hpp"
 #include "graph/distributed.hpp"
@@ -184,10 +185,14 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
   }
 
   bool superstep() override {
+    const auto c0 = Clock::now();
     begin_superstep();
     stats_.note_active(this->active_.count());
     compute_phase();
+    const auto c1 = Clock::now();
     communicate();
+    stats_.compute_seconds += seconds_between(c0, c1);
+    stats_.comm_seconds += seconds_between(c1, Clock::now());
     return any_active_vertex();
   }
 
@@ -324,10 +329,8 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
       local_mask |= (std::uint64_t{1} << i);
     }
     while (true) {
-      const std::uint64_t mask = env_.reducer->reduce(
-          env_.rank, local_mask,
-          [](std::uint64_t a, std::uint64_t b) { return a | b; },
-          std::uint64_t{0});
+      const std::uint64_t mask =
+          env_.transport->allreduce_or(env_.rank, local_mask);
       if (mask == 0) break;
 
       for (std::size_t i = 0; i < channels_.size(); ++i) {
@@ -368,33 +371,123 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
 // launch(): build the runtime, spawn the team, run the algorithm.
 // ---------------------------------------------------------------------------
 
-/// Run WorkerT over a distributed graph. `configure` (optional) is invoked
-/// on each rank's worker before the superstep loop (set sources, iteration
-/// caps, ...). `collect` (optional) is invoked on each rank's worker after
-/// the run; it executes concurrently across ranks, so it must only write
-/// rank-disjoint locations (e.g. index a global array by vertex id).
-/// Returns the per-rank statistics folded with RunStats::merge_from (max
-/// wall time, summed per-rank counters, globally-agreed counts verbatim).
+namespace detail {
+
+/// One rank's run: install the Env, construct the worker, run, collect.
+template <typename WorkerT>
+runtime::RunStats run_rank(
+    const graph::DistributedGraph& dg, runtime::Exchange& exchange,
+    runtime::Transport& transport, int rank,
+    const std::function<void(WorkerT&)>& configure,
+    const std::function<void(WorkerT&, int)>& collect) {
+  detail::Env env{&dg, &exchange, &transport, rank};
+  detail::t_env = &env;
+  WorkerT worker;
+  detail::t_env = nullptr;
+  if (configure) configure(worker);
+  runtime::RunStats stats = worker.run();
+  if (collect) collect(worker, rank);
+  return stats;
+}
+
+}  // namespace detail
+
+/// Run ONE rank of a distributed team over an already-connected remote
+/// transport: this process computes `rank`'s slice (served from a
+/// localized copy of the partition — the shared CSR is dropped), and the
+/// per-rank statistics are folded across the team over the transport's
+/// control lane, so every process returns the same team-global RunStats
+/// an in-process run would report.
+template <typename WorkerT>
+runtime::RunStats launch_distributed(
+    const graph::DistributedGraph& dg, runtime::Transport& transport,
+    int rank, const std::function<void(WorkerT&)>& configure = nullptr,
+    const std::function<void(WorkerT&, int)>& collect = nullptr) {
+  if (transport.world_size() != dg.num_workers()) {
+    throw std::invalid_argument(
+        "launch_distributed: transport world size (" +
+        std::to_string(transport.world_size()) +
+        ") != partition worker count (" + std::to_string(dg.num_workers()) +
+        ")");
+  }
+  const graph::DistributedGraph local = dg.localized(rank);
+  runtime::Exchange exchange(transport);
+  runtime::RunStats stats = detail::run_rank<WorkerT>(
+      local, exchange, transport, rank, configure, collect);
+
+  // Fold the per-rank records into the team-global one at rank 0, then
+  // hand the result back to everyone.
+  runtime::Buffer mine;
+  stats.serialize(mine);
+  std::vector<runtime::Buffer> blobs = transport.gather_to_root(rank, mine);
+  runtime::Buffer merged;
+  if (rank == 0) {
+    runtime::RunStats folded = runtime::RunStats::deserialize(blobs[0]);
+    for (std::size_t r = 1; r < blobs.size(); ++r) {
+      const runtime::RunStats other = runtime::RunStats::deserialize(blobs[r]);
+      folded.merge_from(other);
+    }
+    folded.serialize(merged);
+  }
+  transport.broadcast_from_root(rank, &merged);
+  merged.rewind();
+  return runtime::RunStats::deserialize(merged);
+}
+
+/// Build and connect the TCP transport a LaunchConfig describes (rank
+/// endpoints, full-mesh handshake). Used by launch() and by callers that
+/// need the transport to outlive the run (e.g. result all-gathers).
+inline std::unique_ptr<runtime::TcpTransport> connect_tcp(
+    const LaunchConfig& config, int num_workers) {
+  const int world = config.world_size > 0 ? config.world_size : num_workers;
+  if (world != num_workers) {
+    throw std::invalid_argument(
+        "launch: PGCH_WORLD (" + std::to_string(world) +
+        ") != partition worker count (" + std::to_string(num_workers) +
+        ") — build the partition with the team size");
+  }
+  auto transport = std::make_unique<runtime::TcpTransport>(
+      config.rank, world, config.endpoint_of(config.rank));
+  std::vector<runtime::TcpEndpoint> peers;
+  peers.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) peers.push_back(config.endpoint_of(r));
+  transport->connect_mesh(peers, config.connect_timeout_s);
+  return transport;
+}
+
+/// Run WorkerT over a distributed graph under an explicit LaunchConfig.
+/// `configure` (optional) is invoked on each rank's worker before the
+/// superstep loop (set sources, iteration caps, ...). `collect` (optional)
+/// is invoked on each rank's worker after the run; it executes
+/// concurrently across ranks, so it must only write rank-disjoint
+/// locations (e.g. index a global array by vertex id). Returns the
+/// per-rank statistics folded with RunStats::merge_from (max wall time,
+/// summed per-rank counters, globally-agreed counts verbatim).
+///
+/// kInProcess: spawns one thread per rank in this process (the original
+/// simulator substrate). kTcp: this process runs only config.rank; the
+/// rest of the team are peer processes (tools/pgch_launch spawns them),
+/// and `collect` sees only this rank's vertices.
 template <typename WorkerT>
 runtime::RunStats launch(
-    const graph::DistributedGraph& dg,
+    const graph::DistributedGraph& dg, const LaunchConfig& config,
     const std::function<void(WorkerT&)>& configure = nullptr,
     const std::function<void(WorkerT&, int)>& collect = nullptr) {
   const int num_workers = dg.num_workers();
-  runtime::Barrier barrier(num_workers);
-  runtime::BufferExchange exchange(num_workers, barrier);
-  runtime::AllReducer<std::uint64_t> reducer(num_workers, barrier);
 
+  if (config.transport == runtime::TransportKind::kTcp) {
+    const auto transport = connect_tcp(config, num_workers);
+    return launch_distributed<WorkerT>(dg, *transport, config.rank,
+                                       configure, collect);
+  }
+
+  runtime::InProcessTransport transport(num_workers);
+  runtime::Exchange exchange(transport);
   std::vector<runtime::RunStats> per_rank(
       static_cast<std::size_t>(num_workers));
   runtime::WorkerTeam::run(num_workers, [&](int rank) {
-    detail::Env env{&dg, &barrier, &exchange, &reducer, rank};
-    detail::t_env = &env;
-    WorkerT worker;
-    detail::t_env = nullptr;
-    if (configure) configure(worker);
-    per_rank[static_cast<std::size_t>(rank)] = worker.run();
-    if (collect) collect(worker, rank);
+    per_rank[static_cast<std::size_t>(rank)] = detail::run_rank<WorkerT>(
+        dg, exchange, transport, rank, configure, collect);
   });
 
   runtime::RunStats merged = per_rank[0];
@@ -402,6 +495,18 @@ runtime::RunStats launch(
     merged.merge_from(per_rank[static_cast<std::size_t>(r)]);
   }
   return merged;
+}
+
+/// Environment-configured form: tools/pgch_launch selects the transport,
+/// rank and endpoints through PGCH_* variables (launch_config.hpp), so
+/// the same example/bench binary runs in-process or as one rank of a
+/// multi-process team without a code change.
+template <typename WorkerT>
+runtime::RunStats launch(
+    const graph::DistributedGraph& dg,
+    const std::function<void(WorkerT&)>& configure = nullptr,
+    const std::function<void(WorkerT&, int)>& collect = nullptr) {
+  return launch<WorkerT>(dg, LaunchConfig::from_env(), configure, collect);
 }
 
 }  // namespace pregel::core

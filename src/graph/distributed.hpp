@@ -1,17 +1,26 @@
 #pragma once
 // DistributedGraph: the per-worker views every engine run starts from.
 //
-// The graph itself lives once, as an immutable CsrGraph; each rank's
-// "slice" is only the partition's id mapping plus spans into the shared
-// CSR arrays. Nothing is copied per worker — `out(rank, lidx)` resolves to
-// a contiguous range of the global edge array. Workers still touch only
-// their own vertices' adjacency after load time (the same contract as the
-// paper's workers, which each hold "a disjoint portion of the graph"); the
-// storage being shared and read-only is what makes the view free.
+// Shared form (in-process runs): the graph lives once, as an immutable
+// CsrGraph; each rank's "slice" is only the partition's id mapping plus
+// spans into the shared CSR arrays. Nothing is copied per worker —
+// `out(rank, lidx)` resolves to a contiguous range of the global edge
+// array. Workers still touch only their own vertices' adjacency after
+// load time (the same contract as the paper's workers, which each hold "a
+// disjoint portion of the graph"); the storage being shared and read-only
+// is what makes the view free.
+//
+// Localized form (multi-process runs, DESIGN.md section 7): localized(r)
+// copies rank r's adjacency into a compact rank-local CSR slice — local
+// offsets over the rank's vertices, destinations still global ids — and
+// drops the shared graph, so a TCP-transport process retains only its own
+// slice plus the O(V) partition id maps. Adjacency queries for any other
+// rank then throw: the process genuinely does not have that data.
 
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -34,6 +43,8 @@ class DistributedGraph {
       throw std::invalid_argument(
           "DistributedGraph: partition size != graph size");
     }
+    num_vertices_ = csr_->num_vertices();
+    num_edges_ = csr_->num_edges();
   }
 
   /// Take ownership of a finalized CSR graph.
@@ -49,16 +60,23 @@ class DistributedGraph {
     return partition_.num_workers;
   }
   [[nodiscard]] VertexId num_vertices() const noexcept {
-    return csr_->num_vertices();
+    return num_vertices_;
   }
   [[nodiscard]] std::uint64_t num_edges() const noexcept {
-    return csr_->num_edges();
+    return num_edges_;
   }
   [[nodiscard]] const Partition& partition() const noexcept {
     return partition_;
   }
-  /// The shared immutable storage all rank views point into.
-  [[nodiscard]] const CsrGraph& csr() const noexcept { return *csr_; }
+  /// The shared immutable storage all rank views point into. Unavailable
+  /// on a localized view (the whole point of localizing is dropping it).
+  [[nodiscard]] const CsrGraph& csr() const {
+    if (csr_ == nullptr) {
+      throw std::logic_error(
+          "DistributedGraph: localized view has no shared CSR");
+    }
+    return *csr_;
+  }
 
   [[nodiscard]] int owner(VertexId v) const { return partition_.owner[v]; }
   [[nodiscard]] std::uint32_t local_index(VertexId v) const {
@@ -74,8 +92,24 @@ class DistributedGraph {
   [[nodiscard]] const std::vector<VertexId>& ids(int rank) const {
     return partition_.members[static_cast<std::size_t>(rank)];
   }
-  /// A rank-local vertex's adjacency: a view into the shared CSR arrays.
+  /// A rank-local vertex's adjacency: a view into the shared CSR arrays,
+  /// or into the rank's own slice on a localized view.
   [[nodiscard]] EdgeSpan out(int rank, std::uint32_t lidx) const {
+    if (local_rank_ >= 0) {
+      if (rank != local_rank_) {
+        throw std::logic_error(
+            "DistributedGraph: view localized to rank " +
+            std::to_string(local_rank_) +
+            " cannot serve rank " + std::to_string(rank) +
+            "'s adjacency — that slice lives in another process");
+      }
+      const std::size_t begin = local_offsets_[lidx];
+      const std::size_t len = local_offsets_[lidx + 1] - begin;
+      return EdgeSpan(local_dst_.data() + begin,
+                      local_weights_.empty() ? nullptr
+                                             : local_weights_.data() + begin,
+                      len);
+    }
     return csr_->out(global_id(rank, lidx));
   }
 
@@ -85,9 +119,65 @@ class DistributedGraph {
     return partition_.block_of.empty() ? kNoBlock : partition_.block_of[v];
   }
 
+  /// True when this view serves a single rank's slice (see localized()).
+  [[nodiscard]] bool is_localized() const noexcept { return local_rank_ >= 0; }
+  /// The rank a localized view serves, or -1 for the shared form.
+  [[nodiscard]] int local_rank() const noexcept { return local_rank_; }
+
+  /// A view restricted to `rank`: copies that rank's adjacency into a
+  /// compact local CSR slice and drops the shared graph, keeping only the
+  /// partition's id maps. This is how a multi-process rank serves its
+  /// slice from a locally loaded snapshot without holding W slices' edge
+  /// storage alive.
+  [[nodiscard]] DistributedGraph localized(int rank) const {
+    if (rank < 0 || rank >= num_workers()) {
+      throw std::invalid_argument("DistributedGraph: localized rank out of "
+                                  "range");
+    }
+    if (local_rank_ >= 0) {
+      if (rank == local_rank_) return *this;
+      throw std::logic_error(
+          "DistributedGraph: cannot re-localize to another rank");
+    }
+    DistributedGraph view = *this;
+    const auto& members =
+        partition_.members[static_cast<std::size_t>(rank)];
+    view.local_offsets_.resize(members.size() + 1);
+    view.local_offsets_[0] = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      view.local_offsets_[i + 1] =
+          view.local_offsets_[i] + csr_->neighbors(members[i]).size();
+    }
+    view.local_dst_.reserve(view.local_offsets_.back());
+    const bool weighted = csr_->is_weighted();
+    if (weighted) view.local_weights_.reserve(view.local_offsets_.back());
+    for (const VertexId u : members) {
+      const auto nbrs = csr_->neighbors(u);
+      view.local_dst_.insert(view.local_dst_.end(), nbrs.begin(), nbrs.end());
+      if (weighted) {
+        const auto ws = csr_->weights(u);
+        view.local_weights_.insert(view.local_weights_.end(), ws.begin(),
+                                   ws.end());
+      }
+    }
+    view.local_rank_ = rank;
+    view.csr_.reset();  // the slice serves all reads from here on
+    return view;
+  }
+
  private:
   std::shared_ptr<const CsrGraph> csr_;
   Partition partition_;
+  VertexId num_vertices_ = 0;
+  std::uint64_t num_edges_ = 0;
+
+  // Localized-slice state (local_rank_ >= 0): rank-local CSR offsets over
+  // the member vertices, destinations/weights copied from the shared
+  // arrays (destination ids stay global).
+  int local_rank_ = -1;
+  std::vector<std::uint64_t> local_offsets_;
+  std::vector<VertexId> local_dst_;
+  std::vector<Weight> local_weights_;
 };
 
 }  // namespace pregel::graph

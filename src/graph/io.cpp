@@ -15,12 +15,26 @@ namespace pregel::graph {
 namespace {
 
 // The snapshot is defined as a little-endian byte layout (DESIGN.md
-// section 5). Arrays are written raw, so a big-endian host would need
-// byte-swapping this loader does not implement.
-static_assert(std::endian::native == std::endian::little,
-              "binary snapshots are little-endian; add swapping for BE");
-
+// section 5). Arrays are written raw, so big-endian hosts are detected at
+// runtime and rejected with a clear error instead of writing/reading
+// silently byte-swapped data, and a file whose magic arrives byte-swapped
+// (written by unchecked raw dumps on such a host) is named as such.
 constexpr std::uint32_t kBinaryMagic = 0x53434750;  // "PGCS" little-endian
+
+constexpr std::uint32_t byteswap32(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000FF00u) | ((v << 8) & 0x00FF0000u) |
+         (v << 24);
+}
+
+void require_little_endian_host(const char* op) {
+  if constexpr (std::endian::native != std::endian::little) {
+    throw std::runtime_error(
+        std::string(op) +
+        ": binary snapshots are little-endian by definition and this host "
+        "is big-endian — byte-swapped snapshot I/O is not implemented (use "
+        "edge-list text files instead)");
+  }
+}
 constexpr std::uint32_t kBinaryVersion = 2;
 constexpr std::uint32_t kFlagWeighted = 1u << 0;
 constexpr std::uint32_t kKnownFlags = kFlagWeighted;
@@ -157,6 +171,7 @@ Graph load_edge_list_auto(const std::string& path) {
 }
 
 void save_binary(const CsrGraph& g, const std::string& path) {
+  require_little_endian_host("save_binary");
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_binary: cannot open " + path);
   SnapshotHeader h;
@@ -181,6 +196,7 @@ void save_binary(const Graph& g, const std::string& path) {
 }
 
 CsrGraph load_binary(const std::string& path) {
+  require_little_endian_host("load_binary");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_binary: cannot open " + path);
   SnapshotHeader h;
@@ -192,6 +208,12 @@ CsrGraph load_binary(const std::string& path) {
   h.checksum = get<std::uint64_t>(in);
   if (!in) throw std::runtime_error("load_binary: truncated header");
   if (h.magic != kBinaryMagic) {
+    if (h.magic == byteswap32(kBinaryMagic)) {
+      throw std::runtime_error(
+          "load_binary: byte-swapped snapshot (written on a big-endian "
+          "host) — the format is little-endian by definition, regenerate "
+          "with tools/graph_convert on a little-endian machine");
+    }
     throw std::runtime_error("load_binary: bad magic (not a snapshot)");
   }
   if (h.version != kBinaryVersion) {
@@ -248,7 +270,12 @@ CsrGraph load_any(const std::string& path) {
     if (!probe) throw std::runtime_error("load_any: cannot open " + path);
     std::uint32_t magic = 0;
     probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    if (probe && magic == kBinaryMagic) return load_binary(path);
+    // Route the byte-swapped magic to load_binary too: its "written on a
+    // big-endian host" error beats the text parser's "bad line".
+    if (probe &&
+        (magic == kBinaryMagic || magic == byteswap32(kBinaryMagic))) {
+      return load_binary(path);
+    }
   }
   return load_edge_list_auto(path).finalize();
 }

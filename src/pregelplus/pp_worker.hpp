@@ -158,9 +158,11 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
   void prepare() override { load_vertices(); }
 
   bool superstep() override {
+    const auto c0 = Clock::now();
     begin_superstep();
     stats_.note_active(this->active_.count());
     compute_phase();
+    const auto c1 = Clock::now();
     message_round();
     ++stats_.comm_rounds;
     if (reqresp_) {
@@ -168,6 +170,8 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
       response_round();
       stats_.comm_rounds += 2;
     }
+    stats_.compute_seconds += seconds_between(c0, c1);
+    stats_.comm_seconds += seconds_between(c1, Clock::now());
     return any_active_vertex();
   }
 

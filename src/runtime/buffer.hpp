@@ -137,6 +137,14 @@ class Buffer {
     data_.insert(data_.end(), b, b + n);
   }
 
+  /// Append `n` value-initialized bytes and return a pointer to them, so a
+  /// producer (e.g. a socket receive) can fill the buffer in place instead
+  /// of staging through a scratch array.
+  std::byte* extend(std::size_t n) {
+    data_.resize(data_.size() + n);
+    return data_.data() + (data_.size() - n);
+  }
+
   void read_bytes(void* p, std::size_t n) {
     check_readable(n);
     std::memcpy(p, data_.data() + read_pos_, n);

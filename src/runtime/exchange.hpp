@@ -1,13 +1,17 @@
 #pragma once
-// BufferExchange: the W x W outbox/inbox matrix of raw buffers and the
-// pairwise buffer exchange from the paper's Fig. 2.
+// Exchange: the framed-wire-protocol layer of the communication substrate
+// (DESIGN.md sections 1 and 7).
 //
 // Workers write into their outboxes during channel serialize(), then the
-// team collectively calls exchange(): at the barrier the outbox matrix and
-// the inbox matrix swap roles, bytes are accounted, the new outboxes (whose
-// contents were consumed one full round ago) are cleared, and the new
-// inboxes are rewound for reading. After exchange() returns, channel
-// deserialize() reads the inboxes.
+// team collectively calls exchange(): the Transport underneath delivers
+// every outbox to its peer inbox (in-process: the matrix swap of the
+// paper's Fig. 2; TCP: length-prefixed bulk sends over sockets). After
+// exchange() returns, channel deserialize() reads the inboxes.
+//
+// The Exchange itself never moves bytes. It owns the framed protocol
+// state — per-rank frame lanes, frame open/patch/validate, per-channel
+// byte accounting — and the per-rank traffic counters, and delegates
+// buffer storage, delivery and the control lane to the Transport.
 //
 // Framed wire protocol (DESIGN.md section 1): each channel's payload in
 // each outbox is wrapped in a ChannelFrame{channel_id, byte_len} header.
@@ -17,17 +21,21 @@
 // close_frames() — which validate the header and enforce that the channel
 // consumes exactly its own payload. Misaligned reads therefore throw
 // FrameMismatchError instead of silently corrupting later channels.
+//
+// Rank-local traffic (from == to) never leaves the process, so its frames
+// ship no headers: the writer logs (channel_id, byte_len) in its own lane
+// and the reader validates against that log — same loud failure, zero
+// protocol overhead on the loopback path.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
-#include <cstdlib>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "runtime/barrier.hpp"
 #include "runtime/buffer.hpp"
+#include "runtime/transport.hpp"
 
 namespace pregel::runtime {
 
@@ -51,53 +59,38 @@ class FrameMismatchError : public ProtocolError {
   using ProtocolError::ProtocolError;
 };
 
-/// Simulated per-worker network bandwidth in MB/s, read once from the
-/// PGCH_SIM_NET_MBPS environment variable (0 / unset = disabled).
-///
-/// Workers here are threads, so buffer exchange is a memcpy: the transit
-/// time a real cluster pays (the paper's testbed: 750 Mbps links) is
-/// absent, and optimizations whose benefit is *message volume* would show
-/// up only in the byte counters, not in runtime. When enabled, every
-/// exchange round blocks for max_w(bytes_in(w), bytes_out(w)) / bandwidth
-/// — the bottleneck-link time of that round. See DESIGN.md section 1.
-inline double simulated_bandwidth_bytes_per_sec() {
-  static const double value = [] {
-    const char* env = std::getenv("PGCH_SIM_NET_MBPS");
-    if (env == nullptr) return 0.0;
-    const double mbps = std::atof(env);
-    return mbps > 0.0 ? mbps * 1024.0 * 1024.0 : 0.0;
-  }();
-  return value;
-}
-
-class BufferExchange {
+class Exchange {
  public:
-  BufferExchange(int num_workers, Barrier& barrier)
-      : num_workers_(num_workers),
-        barrier_(barrier),
-        mat_a_(static_cast<std::size_t>(num_workers) * num_workers),
-        mat_b_(static_cast<std::size_t>(num_workers) * num_workers),
-        out_(&mat_a_),
-        in_(&mat_b_),
-        lanes_(static_cast<std::size_t>(num_workers)) {
-    for (auto& lane : lanes_) {
-      lane.write_header_at.assign(static_cast<std::size_t>(num_workers), 0);
-      lane.read_frame_end.assign(static_cast<std::size_t>(num_workers), 0);
-      lane.channel_payload_bytes.assign(kMaxChannels, 0);
-    }
+  /// Frame layer over an externally owned transport (launch() and the
+  /// multi-process path).
+  explicit Exchange(Transport& transport) : transport_(&transport) {
+    init_lanes();
   }
 
-  BufferExchange(const BufferExchange&) = delete;
-  BufferExchange& operator=(const BufferExchange&) = delete;
+  /// Compatibility form: builds and owns an InProcessTransport over the
+  /// given barrier — the original BufferExchange constructor shape.
+  Exchange(int num_workers, Barrier& barrier)
+      : owned_transport_(
+            std::make_unique<InProcessTransport>(num_workers, barrier)),
+        transport_(owned_transport_.get()) {
+    init_lanes();
+  }
 
-  [[nodiscard]] int num_workers() const noexcept { return num_workers_; }
+  Exchange(const Exchange&) = delete;
+  Exchange& operator=(const Exchange&) = delete;
+
+  [[nodiscard]] int num_workers() const noexcept {
+    return transport_->world_size();
+  }
+
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
 
   /// Buffer that worker `from` fills with data destined for worker `to`.
-  Buffer& outbox(int from, int to) { return (*out_)[index(from, to)]; }
+  Buffer& outbox(int from, int to) { return transport_->outbox(from, to); }
 
   /// Buffer holding the data worker `from` sent to worker `to` in the most
   /// recent exchange.
-  Buffer& inbox(int to, int from) { return (*in_)[index(from, to)]; }
+  Buffer& inbox(int to, int from) { return transport_->inbox(to, from); }
 
   // ---- framed wire protocol (write side) --------------------------------
   // Only the owning rank may call its own frame functions; the per-rank
@@ -105,46 +98,63 @@ class BufferExchange {
 
   /// Open channel `channel_id`'s frame in every outbox of `from`. The
   /// channel's serialize() then appends its payloads; end_frames() patches
-  /// the lengths in.
+  /// the lengths in. The self outbox gets no header — its frame is logged
+  /// lane-locally instead (rank-local bytes never cross the wire).
   void begin_frames(int from, int channel_id) {
     Lane& lane = lanes_[static_cast<std::size_t>(from)];
     if (lane.open_write_channel >= 0) {
       throw FrameMismatchError(
-          "BufferExchange: begin_frames while another channel's frame is "
-          "open");
+          "Exchange: begin_frames while another channel's frame is open");
     }
     check_channel_id(channel_id);
-    for (int to = 0; to < num_workers_; ++to) {
+    const int workers = num_workers();
+    for (int to = 0; to < workers; ++to) {
       Buffer& out = outbox(from, to);
+      // For the self outbox this records where the payload begins; for
+      // peers, where the header sits (the payload begins after it).
       lane.write_header_at[static_cast<std::size_t>(to)] = out.size();
-      out.write(ChannelFrame{static_cast<std::uint32_t>(channel_id), 0});
+      if (to != from) {
+        out.write(ChannelFrame{static_cast<std::uint32_t>(channel_id), 0});
+      }
     }
     lane.open_write_channel = channel_id;
   }
 
-  /// Close the open frame: patch byte_len into every header, account the
-  /// payload bytes to the channel, and return them (the engine attributes
-  /// them to the channel's name in RunStats).
+  /// Close the open frame: patch byte_len into every peer header, log the
+  /// self frame, account the payload bytes to the channel, and return them
+  /// (the engine attributes them to the channel's name in RunStats).
   std::uint64_t end_frames(int from, int channel_id) {
     Lane& lane = lanes_[static_cast<std::size_t>(from)];
     if (lane.open_write_channel != channel_id) {
       throw FrameMismatchError(
-          "BufferExchange: end_frames does not match the open frame");
+          "Exchange: end_frames does not match the open frame");
     }
     std::uint64_t payload_total = 0;
-    for (int to = 0; to < num_workers_; ++to) {
+    const int workers = num_workers();
+    for (int to = 0; to < workers; ++to) {
       Buffer& out = outbox(from, to);
       const std::size_t header_at =
           lane.write_header_at[static_cast<std::size_t>(to)];
-      const std::size_t payload = out.size() - header_at - sizeof(ChannelFrame);
-      out.patch_u32(header_at + sizeof(std::uint32_t),
-                    static_cast<std::uint32_t>(payload));
-      payload_total += payload;
+      if (to == from) {
+        const std::size_t payload = out.size() - header_at;
+        lane.self_frames.push_back(
+            ChannelFrame{static_cast<std::uint32_t>(channel_id),
+                         static_cast<std::uint32_t>(payload)});
+        payload_total += payload;
+      } else {
+        const std::size_t payload =
+            out.size() - header_at - sizeof(ChannelFrame);
+        out.patch_u32(header_at + sizeof(std::uint32_t),
+                      static_cast<std::uint32_t>(payload));
+        payload_total += payload;
+      }
     }
     lane.channel_payload_bytes[static_cast<std::size_t>(channel_id)] +=
         payload_total;
+    // Only the W-1 peer headers are protocol overhead; the self frame
+    // ships none.
     lane.frame_overhead_bytes +=
-        static_cast<std::uint64_t>(num_workers_) * sizeof(ChannelFrame);
+        static_cast<std::uint64_t>(workers - 1) * sizeof(ChannelFrame);
     lane.open_write_channel = -1;
     return payload_total;
   }
@@ -152,23 +162,28 @@ class BufferExchange {
   // ---- framed wire protocol (read side) ---------------------------------
 
   /// Validate and consume channel `channel_id`'s frame header in every
-  /// inbox of `to`, and bound each inbox's reader to the frame payload.
-  /// Throws FrameMismatchError if a different channel's frame (or a
-  /// truncated stream) is at the cursor — the loud failure that replaces
+  /// inbox of `to` (the self inbox validates against the lane's frame log
+  /// instead of a wire header), and bound each inbox's reader to the frame
+  /// payload. Throws FrameMismatchError if a different channel's frame (or
+  /// a truncated stream) is at the cursor — the loud failure that replaces
   /// the old silent misalignment.
   void open_frames(int to, int channel_id, const std::string& channel_name) {
     Lane& lane = lanes_[static_cast<std::size_t>(to)];
-    for (int from = 0; from < num_workers_; ++from) {
+    const int workers = num_workers();
+    for (int from = 0; from < workers; ++from) {
       Buffer& in = inbox(to, from);
       ChannelFrame frame{};
-      try {
-        frame = in.read<ChannelFrame>();
-      } catch (const ProtocolError&) {
-        throw FrameMismatchError(
-            "frame protocol: inbox exhausted where channel '" + channel_name +
-            "' (id " + std::to_string(channel_id) +
-            ") expected a frame header — an earlier channel over- or "
-            "under-read its frame");
+      if (from == to) {
+        if (lane.self_read == lane.self_frames.size()) {
+          throw exhausted_error(channel_id, channel_name);
+        }
+        frame = lane.self_frames[lane.self_read++];
+      } else {
+        try {
+          frame = in.read<ChannelFrame>();
+        } catch (const ProtocolError&) {
+          throw exhausted_error(channel_id, channel_name);
+        }
       }
       if (frame.channel_id != static_cast<std::uint32_t>(channel_id)) {
         throw FrameMismatchError(
@@ -188,7 +203,8 @@ class BufferExchange {
   /// over-read case already threw inside deserialize via the read limit).
   void close_frames(int to, int channel_id, const std::string& channel_name) {
     Lane& lane = lanes_[static_cast<std::size_t>(to)];
-    for (int from = 0; from < num_workers_; ++from) {
+    const int workers = num_workers();
+    for (int from = 0; from < workers; ++from) {
       Buffer& in = inbox(to, from);
       const std::size_t expected =
           lane.read_frame_end[static_cast<std::size_t>(from)];
@@ -203,38 +219,58 @@ class BufferExchange {
       }
       in.clear_read_limit();
     }
+    // Frame log fully drained: recycle it (keeps capacity).
+    if (lane.self_read == lane.self_frames.size()) {
+      lane.self_frames.clear();
+      lane.self_read = 0;
+    }
   }
 
-  /// Collective: all workers must call. Swaps outboxes and inboxes.
-  void exchange(int /*rank*/) {
-    barrier_.arrive_and_wait([this] {
-      // Account what is about to be delivered.
-      for (const Buffer& b : *out_) {
-        total_bytes_ += b.size();
-        if (!b.empty()) ++total_batches_;
-      }
-      simulate_network_transit();
-      std::swap(out_, in_);
-      // New outboxes carry data consumed a full round ago; recycle them
-      // (clear() keeps capacity, so steady-state rounds do not reallocate).
-      for (Buffer& b : *out_) b.clear();
-      for (Buffer& b : *in_) b.rewind();
-      ++rounds_;
-    });
+  /// Collective: all workers must call. Accounts this rank's outgoing
+  /// traffic, then lets the transport deliver every outbox.
+  void exchange(int rank) {
+    Lane& lane = lanes_[static_cast<std::size_t>(rank)];
+    const int workers = num_workers();
+    for (int to = 0; to < workers; ++to) {
+      const Buffer& out = outbox(rank, to);
+      lane.sent_bytes += out.size();
+      if (!out.empty()) ++lane.sent_batches;
+    }
+    ++lane.rounds;
+    transport_->exchange(rank);
   }
-
-  /// A plain team-wide barrier (no buffer movement).
-  void barrier_only() { barrier_.arrive_and_wait(); }
 
   // ---- statistics (read between rounds; not thread-safe mid-exchange) ---
 
+  /// Bytes rank `rank` handed to the transport (payload + frame headers),
+  /// accumulated by exchange().
+  [[nodiscard]] std::uint64_t sent_bytes(int rank) const {
+    return lanes_[static_cast<std::size_t>(rank)].sent_bytes;
+  }
+
+  /// Non-empty (src, dst) buffers rank `rank` shipped.
+  [[nodiscard]] std::uint64_t sent_batches(int rank) const {
+    return lanes_[static_cast<std::size_t>(rank)].sent_batches;
+  }
+
+  /// Team-wide totals: the sum over every rank's lane. On a remote
+  /// transport only the local rank's lane is populated, so these report
+  /// this process's share; RunStats::merge_from sums the shares.
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
-    return total_bytes_;
+    std::uint64_t sum = 0;
+    for (const Lane& lane : lanes_) sum += lane.sent_bytes;
+    return sum;
   }
   [[nodiscard]] std::uint64_t total_batches() const noexcept {
-    return total_batches_;
+    std::uint64_t sum = 0;
+    for (const Lane& lane : lanes_) sum += lane.sent_batches;
+    return sum;
   }
-  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    std::uint64_t most = 0;
+    for (const Lane& lane : lanes_) most = std::max(most, lane.rounds);
+    return most;
+  }
 
   /// Payload bytes rank `from` shipped on channel `channel_id` (frame
   /// headers excluded), accumulated by end_frames().
@@ -245,19 +281,20 @@ class BufferExchange {
   }
 
   /// Frame-header bytes rank `from` shipped (protocol overhead of the
-  /// framed wire format).
+  /// framed wire format; rank-local frames ship no headers and count
+  /// nothing here).
   [[nodiscard]] std::uint64_t frame_overhead_bytes(int from) const {
     return lanes_[static_cast<std::size_t>(from)].frame_overhead_bytes;
   }
 
   void reset_stats() noexcept {
-    total_bytes_ = 0;
-    total_batches_ = 0;
-    rounds_ = 0;
     for (auto& lane : lanes_) {
       std::fill(lane.channel_payload_bytes.begin(),
                 lane.channel_payload_bytes.end(), 0);
       lane.frame_overhead_bytes = 0;
+      lane.sent_bytes = 0;
+      lane.sent_batches = 0;
+      lane.rounds = 0;
     }
   }
 
@@ -268,54 +305,50 @@ class BufferExchange {
     std::vector<std::size_t> write_header_at;  ///< per peer, open frame
     std::vector<std::size_t> read_frame_end;   ///< per peer, open frame
     std::vector<std::uint64_t> channel_payload_bytes;  ///< cumulative
+    /// Rank-local frame log: headers the self outbox would have carried.
+    /// end_frames() appends, open_frames() validates and consumes.
+    std::vector<ChannelFrame> self_frames;
+    std::size_t self_read = 0;
     std::uint64_t frame_overhead_bytes = 0;
+    std::uint64_t sent_bytes = 0;
+    std::uint64_t sent_batches = 0;
+    std::uint64_t rounds = 0;
     int open_write_channel = -1;
   };
 
+  void init_lanes() {
+    const auto workers = static_cast<std::size_t>(num_workers());
+    lanes_.resize(workers);
+    for (auto& lane : lanes_) {
+      lane.write_header_at.assign(workers, 0);
+      lane.read_frame_end.assign(workers, 0);
+      lane.channel_payload_bytes.assign(kMaxChannels, 0);
+    }
+  }
+
   static void check_channel_id(int channel_id) {
     if (channel_id < 0 || channel_id >= kMaxChannels) {
-      throw FrameMismatchError("BufferExchange: channel id out of range");
+      throw FrameMismatchError("Exchange: channel id out of range");
     }
   }
 
-  [[nodiscard]] std::size_t index(int from, int to) const noexcept {
-    return static_cast<std::size_t>(from) * num_workers_ + to;
+  static FrameMismatchError exhausted_error(int channel_id,
+                                            const std::string& channel_name) {
+    return FrameMismatchError(
+        "frame protocol: inbox exhausted where channel '" + channel_name +
+        "' (id " + std::to_string(channel_id) +
+        ") expected a frame header — an earlier channel over- or under-read "
+        "its frame, or the peer's stream was truncated");
   }
 
-  /// Block for the bottleneck-link transit time of this round (no-op when
-  /// PGCH_SIM_NET_MBPS is unset). Runs inside the barrier completion, so
-  /// the whole team waits — exactly like a synchronous network flush.
-  /// Worker-local (i == j) buffers never cross the network and are free.
-  void simulate_network_transit() const {
-    const double bw = simulated_bandwidth_bytes_per_sec();
-    if (bw <= 0.0) return;
-    std::uint64_t worst = 0;
-    for (int w = 0; w < num_workers_; ++w) {
-      std::uint64_t sent = 0, received = 0;
-      for (int peer = 0; peer < num_workers_; ++peer) {
-        if (peer == w) continue;
-        sent += (*out_)[index(w, peer)].size();
-        received += (*out_)[index(peer, w)].size();
-      }
-      worst = std::max({worst, sent, received});
-    }
-    if (worst == 0) return;
-    const auto delay = std::chrono::duration<double>(
-        static_cast<double>(worst) / bw);
-    std::this_thread::sleep_for(delay);
-  }
-
-  const int num_workers_;
-  Barrier& barrier_;
-  std::vector<Buffer> mat_a_;
-  std::vector<Buffer> mat_b_;
-  std::vector<Buffer>* out_;
-  std::vector<Buffer>* in_;
+  std::unique_ptr<InProcessTransport> owned_transport_;
+  Transport* transport_;
   std::vector<Lane> lanes_;
-
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t total_batches_ = 0;
-  std::uint64_t rounds_ = 0;
 };
+
+/// Historical name: the exchange used to own the W x W buffer matrix
+/// itself. The matrix now lives in InProcessTransport; the protocol and
+/// accounting layer kept the old name as an alias.
+using BufferExchange = Exchange;
 
 }  // namespace pregel::runtime

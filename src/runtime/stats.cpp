@@ -6,21 +6,37 @@
 
 namespace pregel::runtime {
 
+namespace {
+
+/// Element-wise sum of per-superstep counters (ranks agree on the
+/// superstep count; tolerate a short tail anyway).
+void merge_per_superstep(std::vector<std::uint64_t>& into,
+                         const std::vector<std::uint64_t>& from) {
+  if (from.size() > into.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+}  // namespace
+
 void RunStats::merge_from(const RunStats& other) {
   // Wall time: ranks run concurrently, the run takes as long as the
-  // slowest rank.
+  // slowest rank. The compute/communication split is maxed the same way
+  // (each half of the slowest rank's split, not a cross-rank sum that
+  // would exceed the wall time).
   seconds = std::max(seconds, other.seconds);
+  compute_seconds = std::max(compute_seconds, other.compute_seconds);
+  comm_seconds = std::max(comm_seconds, other.comm_seconds);
   // Supersteps and communication rounds are collective — the quiescence
   // vote and the round loop keep every rank in lock-step, so all ranks
   // report the same number. max() keeps the merge well-defined even if an
   // engine ever diverges.
   supersteps = std::max(supersteps, other.supersteps);
   comm_rounds = std::max(comm_rounds, other.comm_rounds);
-  // Exchange totals are read from the *shared* BufferExchange after the
-  // loop: every rank already reports the team-global value. Summing would
-  // multiply by the rank count.
-  message_bytes = std::max(message_bytes, other.message_bytes);
-  message_batches = std::max(message_batches, other.message_batches);
+  // Traffic is accounted per rank (each rank counts what it handed to the
+  // transport), so the team figure is the sum — identically under the
+  // in-process and the TCP transport.
+  message_bytes += other.message_bytes;
+  message_batches += other.message_batches;
   // Frame overhead and per-channel payload bytes are accounted per rank
   // (each rank counts what it serialized), so the global figure is the
   // sum.
@@ -28,16 +44,52 @@ void RunStats::merge_from(const RunStats& other) {
   for (const auto& [name, bytes] : other.bytes_by_channel) {
     bytes_by_channel[name] += bytes;
   }
-  // Frontier sizes are per-rank counts of local vertices: the global
-  // frontier of a superstep is their sum, element-wise (ranks agree on
-  // the superstep count; tolerate a short tail anyway).
-  if (other.active_per_superstep.size() > active_per_superstep.size()) {
-    active_per_superstep.resize(other.active_per_superstep.size(), 0);
-  }
-  for (std::size_t i = 0; i < other.active_per_superstep.size(); ++i) {
-    active_per_superstep[i] += other.active_per_superstep[i];
-  }
+  // Frontier sizes and per-superstep traffic are per-rank counts: the
+  // global figure of a superstep is their element-wise sum.
+  merge_per_superstep(active_per_superstep, other.active_per_superstep);
+  merge_per_superstep(bytes_per_superstep, other.bytes_per_superstep);
   active_vertex_total += other.active_vertex_total;
+}
+
+void RunStats::serialize(Buffer& out) const {
+  out.write(seconds);
+  out.write(compute_seconds);
+  out.write(comm_seconds);
+  out.write<std::int32_t>(supersteps);
+  out.write(comm_rounds);
+  out.write(message_bytes);
+  out.write(message_batches);
+  out.write(frame_bytes);
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(
+      bytes_by_channel.size()));
+  for (const auto& [name, bytes] : bytes_by_channel) {
+    out.write_string(name);
+    out.write(bytes);
+  }
+  out.write_vector(active_per_superstep);
+  out.write(active_vertex_total);
+  out.write_vector(bytes_per_superstep);
+}
+
+RunStats RunStats::deserialize(Buffer& in) {
+  RunStats s;
+  s.seconds = in.read<double>();
+  s.compute_seconds = in.read<double>();
+  s.comm_seconds = in.read<double>();
+  s.supersteps = in.read<std::int32_t>();
+  s.comm_rounds = in.read<std::uint64_t>();
+  s.message_bytes = in.read<std::uint64_t>();
+  s.message_batches = in.read<std::uint64_t>();
+  s.frame_bytes = in.read<std::uint64_t>();
+  const auto channels = in.read<std::uint32_t>();
+  for (std::uint32_t i = 0; i < channels; ++i) {
+    const std::string name = in.read_string();
+    s.bytes_by_channel[name] = in.read<std::uint64_t>();
+  }
+  s.active_per_superstep = in.read_vector<std::uint64_t>();
+  s.active_vertex_total = in.read<std::uint64_t>();
+  s.bytes_per_superstep = in.read_vector<std::uint64_t>();
+  return s;
 }
 
 std::string RunStats::summary() const {
@@ -51,6 +103,10 @@ std::string RunStats::summary() const {
 std::string RunStats::detailed() const {
   std::ostringstream os;
   os << summary() << "\n";
+  if (compute_seconds != 0.0 || comm_seconds != 0.0) {
+    os << "  compute " << std::fixed << std::setprecision(3)
+       << compute_seconds << " s / communicate " << comm_seconds << " s\n";
+  }
   for (const auto& [name, bytes] : bytes_by_channel) {
     os << "  channel " << name << ": " << std::fixed << std::setprecision(2)
        << static_cast<double>(bytes) / (1024.0 * 1024.0) << " MB\n";
@@ -63,6 +119,16 @@ std::string RunStats::detailed() const {
     os << "  active vertices: " << active_vertex_total << " total, "
        << active_vertex_total / active_per_superstep.size()
        << " avg/superstep\n";
+  }
+  if (!bytes_per_superstep.empty()) {
+    std::uint64_t total = 0, peak = 0;
+    for (const std::uint64_t b : bytes_per_superstep) {
+      total += b;
+      peak = std::max(peak, b);
+    }
+    os << "  exchange bytes/superstep: "
+       << total / bytes_per_superstep.size() << " avg, " << peak
+       << " peak\n";
   }
   return os.str();
 }

@@ -9,13 +9,22 @@
 #include <string>
 #include <vector>
 
+#include "runtime/buffer.hpp"
+
 namespace pregel::runtime {
 
 struct RunStats {
   double seconds = 0.0;          ///< wall time of the superstep loop
+  /// Wall time split of the superstep bodies: channel/message processing
+  /// + vertex compute vs. serialize/exchange/deserialize + the votes the
+  /// communication loop takes. Engines accumulate these per superstep.
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
   int supersteps = 0;            ///< number of (global) supersteps executed
   std::uint64_t comm_rounds = 0; ///< buffer-exchange rounds (>= supersteps)
-  std::uint64_t message_bytes = 0;   ///< total bytes through the exchange
+  /// Bytes this rank shipped through the exchange (payload + frame
+  /// headers). merge_from() sums the per-rank shares into the team total.
+  std::uint64_t message_bytes = 0;
   std::uint64_t message_batches = 0; ///< non-empty (src,dst) buffers moved
 
   /// Frame-header bytes of the framed wire protocol (channel-engine runs
@@ -33,6 +42,11 @@ struct RunStats {
   std::vector<std::uint64_t> active_per_superstep;
   std::uint64_t active_vertex_total = 0;
 
+  /// Exchange bytes this rank shipped during each superstep (index 0 =
+  /// superstep 1; a superstep with several communication rounds reports
+  /// their sum). Merged element-wise across ranks.
+  std::vector<std::uint64_t> bytes_per_superstep;
+
   /// Record one superstep's frontier size (engines call this at superstep
   /// start, after begin_superstep()).
   void note_active(std::uint64_t n) {
@@ -45,6 +59,12 @@ struct RunStats {
   /// kept verbatim, wall time maxed. See stats.cpp for the field map.
   void merge_from(const RunStats& other);
 
+  /// Wire round-trip for the multi-process stats fold: every rank ships
+  /// its RunStats to rank 0 over the transport's control lane, which
+  /// merges and broadcasts the team-global record.
+  void serialize(Buffer& out) const;
+  static RunStats deserialize(Buffer& in);
+
   [[nodiscard]] double message_mb() const {
     return static_cast<double>(message_bytes) / (1024.0 * 1024.0);
   }
@@ -52,7 +72,8 @@ struct RunStats {
   /// One-line human-readable summary ("12.34 s  56.78 MB  31 steps").
   [[nodiscard]] std::string summary() const;
 
-  /// Multi-line report including the per-channel byte breakdown.
+  /// Multi-line report including the per-channel byte breakdown and the
+  /// compute/communication wall-time split.
   [[nodiscard]] std::string detailed() const;
 };
 

@@ -293,6 +293,38 @@ TEST(Snapshot, RejectsCorruptHeaderAndPayload) {
   std::remove(path.c_str());
 }
 
+TEST(Snapshot, NamesByteSwappedMagicAsBigEndian) {
+  // A snapshot whose magic arrives byte-swapped was raw-dumped on a
+  // big-endian host; the loader must say so instead of "bad magic", and
+  // load_any must route it to that error instead of the text parser.
+  const CsrGraph g = erdos_renyi(64, 256, 23).finalize();
+  const auto path = temp_path("pgch_csr_bswap.bin");
+  save_binary(g, path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    char magic[4];
+    f.read(magic, 4);
+    std::swap(magic[0], magic[3]);
+    std::swap(magic[1], magic[2]);
+    f.seekp(0);
+    f.write(magic, 4);
+  }
+  for (const auto* loader : {"load_binary", "load_any"}) {
+    try {
+      if (std::string(loader) == "load_binary") {
+        (void)load_binary(path);
+      } else {
+        (void)load_any(path);
+      }
+      FAIL() << loader << " accepted a byte-swapped snapshot";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("big-endian"), std::string::npos)
+          << loader << " error should name the endianness: " << e.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------- converter path ---------
 
 TEST(Converter, EdgeListToSnapshotReloadsIdentically) {

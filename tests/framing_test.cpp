@@ -120,13 +120,16 @@ TEST(FramedExchange, AccountsPayloadPerChannelAndOverheadSeparately) {
                 static_cast<std::uint64_t>(from * 10 + rank));
     }
   }
-  // Frame-accounted payloads: channel 0 = kW peers x 8 bytes per rank,
-  // channel 1 = 0; overhead = 2 channels x kW peers x header per rank.
+  // Frame-accounted payloads: channel 0 = kW peers x 8 bytes per rank
+  // (the rank-local payload counts like any other), channel 1 = 0.
+  // Overhead = 2 channels x (kW - 1) REMOTE peers x header per rank: the
+  // self outbox ships no header, its frame is validated lane-locally.
   std::uint64_t payload = 0, overhead = 0;
   for (int rank = 0; rank < kW; ++rank) {
     EXPECT_EQ(ex.channel_bytes(rank, 0), kW * sizeof(std::uint64_t));
     EXPECT_EQ(ex.channel_bytes(rank, 1), 0u);
-    EXPECT_EQ(ex.frame_overhead_bytes(rank), 2u * kW * sizeof(ChannelFrame));
+    EXPECT_EQ(ex.frame_overhead_bytes(rank),
+              2u * (kW - 1) * sizeof(ChannelFrame));
     payload += ex.channel_bytes(rank, 0) + ex.channel_bytes(rank, 1);
     overhead += ex.frame_overhead_bytes(rank);
   }

@@ -1,0 +1,194 @@
+// pgch_launch: run any example or bench binary as a multi-process worker
+// team (docs/transport.md).
+//
+// The driver spawns N copies of the given command, one per rank, with the
+// PGCH_* launch environment set (launch_config.hpp): PGCH_TRANSPORT=tcp,
+// PGCH_RANK=r, PGCH_WORLD=N, PGCH_PORT_BASE, and optionally PGCH_HOSTS.
+// Inside each process, core::launch() reads that environment, connects
+// the socket mesh and runs only its own rank — so binaries written for
+// the in-process simulator become distributed without a code change.
+//
+// Usage:
+//   pgch_launch -n N [--transport tcp|inprocess] [--port-base P]
+//               [--hosts h0[:p0],h1[:p1],...] [--print-only]
+//               -- command [args...]
+//
+//   pgch_launch -n 2 --transport tcp -- ./example_quickstart 2000 2
+//
+// --hosts names where each rank LISTENS; for a multi-host run, start the
+// printed per-rank command on its own machine instead of letting this
+// driver fork it (the driver always forks locally). --print-only prints
+// the per-rank command lines and exits — the copy-paste recipe for
+// multi-host runs.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+struct Options {
+  int world = 2;
+  std::string transport = "tcp";
+  int port_base = 29500;
+  std::string hosts;  // comma-separated, may be empty
+  bool print_only = false;
+  std::vector<char*> command;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "pgch_launch: %s\n", error);
+  std::fprintf(stderr,
+               "usage: %s -n N [--transport tcp|inprocess] [--port-base P]\n"
+               "       [--hosts h0[:p0],h1[:p1],...] [--print-only] -- "
+               "command [args...]\n",
+               argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg == "-n" || arg == "--np" || arg == "--world") {
+      opts.world = std::atoi(value());
+    } else if (arg == "--transport") {
+      opts.transport = value();
+    } else if (arg == "--port-base") {
+      opts.port_base = std::atoi(value());
+    } else if (arg == "--hosts") {
+      opts.hosts = value();
+    } else if (arg == "--print-only") {
+      opts.print_only = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], ("unknown option " + arg).c_str());
+    }
+  }
+  for (; i < argc; ++i) opts.command.push_back(argv[i]);
+  if (opts.command.empty()) usage(argv[0], "no command after --");
+  if (opts.world <= 0) usage(argv[0], "-n must be >= 1");
+  if (opts.transport != "tcp" && opts.transport != "inprocess") {
+    usage(argv[0], "--transport must be tcp or inprocess");
+  }
+  return opts;
+}
+
+/// The env assignments rank `rank` runs under, as a printable prefix.
+std::string env_prefix(const Options& opts, int rank) {
+  std::string s = "PGCH_TRANSPORT=" + opts.transport +
+                  " PGCH_WORLD=" + std::to_string(opts.world);
+  if (opts.transport == "tcp") {
+    s += " PGCH_RANK=" + std::to_string(rank);
+    s += " PGCH_PORT_BASE=" + std::to_string(opts.port_base);
+    if (!opts.hosts.empty()) s += " PGCH_HOSTS=" + opts.hosts;
+  }
+  return s;
+}
+
+void print_commands(const Options& opts, int ranks) {
+  for (int r = 0; r < ranks; ++r) {
+    std::string line = env_prefix(opts, r);
+    for (const char* part : opts.command) {
+      line += ' ';
+      line += part;
+    }
+    std::fprintf(stderr, "[pgch_launch] rank %d: %s\n", r, line.c_str());
+  }
+}
+
+}  // namespace
+
+#ifdef _WIN32
+
+int main() {
+  std::fprintf(stderr, "pgch_launch: process spawning requires POSIX\n");
+  return 1;
+}
+
+#else
+
+int main(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+  // In-process mode needs no peers: one child, worker threads inside it.
+  const int ranks = opts.transport == "tcp" ? opts.world : 1;
+  print_commands(opts, ranks);
+  if (opts.print_only) return 0;
+
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("pgch_launch: fork");
+      for (const pid_t c : children) kill(c, SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      // Own process group, so teardown reaches the rank's descendants
+      // too (e.g. a wrapper shell's children).
+      setpgid(0, 0);
+      setenv("PGCH_TRANSPORT", opts.transport.c_str(), 1);
+      setenv("PGCH_WORLD", std::to_string(opts.world).c_str(), 1);
+      if (opts.transport == "tcp") {
+        setenv("PGCH_RANK", std::to_string(r).c_str(), 1);
+        setenv("PGCH_PORT_BASE", std::to_string(opts.port_base).c_str(), 1);
+        if (!opts.hosts.empty()) setenv("PGCH_HOSTS", opts.hosts.c_str(), 1);
+      }
+      std::vector<char*> args = opts.command;
+      args.push_back(nullptr);
+      execvp(args[0], args.data());
+      std::fprintf(stderr, "pgch_launch: exec %s: %s\n", args[0],
+                   std::strerror(errno));
+      _exit(127);
+    }
+    setpgid(pid, pid);  // mirror the child's call; one of the two wins
+    children.push_back(pid);
+  }
+
+  // Wait for the whole team; one failure tears the rest down (a vanished
+  // peer would otherwise leave survivors blocked in a collective). Reaped
+  // ranks are dropped from the list first — their pids may already belong
+  // to someone else.
+  int exit_code = 0;
+  const std::size_t total = children.size();
+  for (std::size_t done = 0; done < total; ++done) {
+    int status = 0;
+    const pid_t pid = wait(&status);
+    if (pid < 0) break;
+    for (pid_t& c : children) {
+      if (c == pid) c = -1;
+    }
+    const bool failed = !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+    if (failed && exit_code == 0) {
+      exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+      for (const pid_t c : children) {
+        if (c > 0) kill(-c, SIGTERM);  // the rank's whole process group
+      }
+    }
+  }
+  if (exit_code != 0) {
+    std::fprintf(stderr, "pgch_launch: a rank failed (exit %d)\n", exit_code);
+  }
+  return exit_code;
+}
+
+#endif
