@@ -10,11 +10,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <numeric>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -276,23 +280,115 @@ inline DistributedGraph voronoi_dg(CsrGraph&& g) {
     return dg;                                      \
   }
 
+// ---- machine-readable results (PGCH_BENCH_JSON / --json) ------------------
+//
+// Every run_case() appends one JSON record per benchmark to the sink
+// file, so the perf trajectory (BENCH_*.json) is populated by the same
+// binaries the tables come from:
+//   {"bench": "PR", "dataset": "Wikipedia", "name": ..., "wall_s": ...,
+//    "msg_bytes": ..., "supersteps": ..., "comm_rounds": ...,
+//    "serialize_s": ..., "exchange_s": ..., "deliver_s": ...,
+//    "threads": ..., "comm_threads": ..., "transport": ...}
+// The path comes from --json=<path> (stripped before google-benchmark
+// sees the argv) or the PGCH_BENCH_JSON environment variable; records are
+// appended as JSON lines.
+
+/// The sink path ("" = disabled). Set once at startup by PGCH_BENCH_MAIN.
+inline std::string& json_sink_path() {
+  static std::string path = [] {
+    const char* env = std::getenv("PGCH_BENCH_JSON");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return path;
+}
+
+/// Consume a --json=<path> / --json <path> flag before google-benchmark
+/// rejects it as unrecognized.
+inline void init_json_sink(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_sink_path() = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      json_sink_path() = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Append one benchmark's record. Benchmark names follow the
+/// <Bench>_<Dataset>_<Variant> convention; the first two tokens become
+/// the bench/dataset fields (the full name ships too).
+inline void record_json(const std::string& name,
+                        const pregel::runtime::RunStats& stats) {
+  const std::string& path = json_sink_path();
+  if (path.empty()) return;
+  std::string bench = name, dataset;
+  if (const auto cut = name.find('_'); cut != std::string::npos) {
+    bench = name.substr(0, cut);
+    dataset = name.substr(cut + 1);
+    if (const auto cut2 = dataset.find('_'); cut2 != std::string::npos) {
+      dataset = dataset.substr(0, cut2);
+    }
+  }
+  const bool tcp = pregel::core::LaunchConfig::from_env().transport ==
+                   pregel::runtime::TransportKind::kTcp;
+  std::ostringstream os;
+  os << "{\"bench\": \"" << bench << "\", \"dataset\": \"" << dataset
+     << "\", \"name\": \"" << name << "\", \"wall_s\": " << stats.seconds
+     << ", \"msg_bytes\": " << stats.message_bytes
+     << ", \"supersteps\": " << stats.supersteps
+     << ", \"comm_rounds\": " << stats.comm_rounds
+     << ", \"compute_s\": " << stats.compute_seconds
+     << ", \"comm_s\": " << stats.comm_seconds
+     << ", \"serialize_s\": " << stats.serialize_seconds
+     << ", \"exchange_s\": " << stats.exchange_seconds
+     << ", \"deliver_s\": " << stats.deliver_seconds
+     << ", \"threads\": " << pregel::runtime::compute_threads_from_env()
+     << ", \"comm_threads\": " << pregel::runtime::comm_threads_from_env()
+     << ", \"workers\": " << num_workers() << ", \"transport\": \""
+     << (tcp ? "tcp" : "inprocess") << "\"}";
+  std::ofstream out(path, std::ios::app);
+  out << os.str() << "\n";
+}
+
 // ---- harness glue ---------------------------------------------------------
 
 /// Run one engine program and report it paper-style: manual wall time,
-/// message MB and superstep count as counters.
+/// message MB and superstep count as counters (plus a JSON record when
+/// the sink is configured). `name` is the benchmark's registered name —
+/// call sites pass __func__ (benchmark::State has no name accessor in
+/// the library version the image ships).
 template <typename WorkerT>
-void run_case(benchmark::State& state, const DistributedGraph& dg,
+void run_case(benchmark::State& state, const char* name,
+              const DistributedGraph& dg,
               const std::function<void(WorkerT&)>& configure = nullptr) {
   double mb = 0.0;
   double steps = 0.0;
+  pregel::runtime::RunStats last;
   for (auto _ : state) {
     const auto stats = pregel::algo::run_only<WorkerT>(dg, configure);
     state.SetIterationTime(stats.seconds);
     mb = stats.message_mb();
     steps = static_cast<double>(stats.supersteps);
+    last = stats;
   }
   state.counters["msg_MB"] = mb;
   state.counters["supersteps"] = steps;
+  record_json(name, last);
 }
 
 }  // namespace bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that installs the JSON sink
+/// (--json=<path>, stripped from argv) before google-benchmark parses it.
+#define PGCH_BENCH_MAIN()                                                 \
+  int main(int argc, char** argv) {                                       \
+    bench::init_json_sink(&argc, argv);                                   \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    return 0;                                                             \
+  }

@@ -145,11 +145,11 @@ PGCH_CACHED_DG(wiki, bench::hash_dg(bench::wikipedia_graph()))
 
 void Combining_HashStaging_PR5(benchmark::State& s) {
   bench::run_case<algo::PageRankCombined>(
-      s, wiki(), [](algo::PageRankCombined& w) { w.iterations = 5; });
+      s, __func__, wiki(), [](algo::PageRankCombined& w) { w.iterations = 5; });
 }
 void Combining_LinearScan_PR5(benchmark::State& s) {
   bench::run_case<algo::PageRankScatter>(
-      s, wiki(), [](algo::PageRankScatter& w) { w.iterations = 5; });
+      s, __func__, wiki(), [](algo::PageRankScatter& w) { w.iterations = 5; });
 }
 BENCHMARK(Combining_HashStaging_PR5)
     ->Unit(benchmark::kMillisecond)
@@ -191,10 +191,10 @@ PGCH_CACHED_DG(star, bench::hash_dg(
                          pregel::graph::star(bench::scaled(200'000)).finalize()))
 
 void Skew_Star_AskReply(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingBasic>(s, star());
+  bench::run_case<algo::PointerJumpingBasic>(s, __func__, star());
 }
 void Skew_Star_RequestRespond(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingReqResp>(s, star());
+  bench::run_case<algo::PointerJumpingReqResp>(s, __func__, star());
 }
 BENCHMARK(Skew_Star_AskReply)
     ->Unit(benchmark::kMillisecond)
@@ -212,11 +212,11 @@ BENCHMARK(Skew_Star_RequestRespond)
 /// worker), scatter one per (worker, unique destination).
 void Broadcast_ScatterCombine_PR(benchmark::State& s) {
   bench::run_case<algo::PageRankScatter>(
-      s, wiki(), [](algo::PageRankScatter& w) { w.iterations = 10; });
+      s, __func__, wiki(), [](algo::PageRankScatter& w) { w.iterations = 10; });
 }
 void Broadcast_MirrorScatter_PR(benchmark::State& s) {
   bench::run_case<algo::PageRankMirror>(
-      s, wiki(), [](algo::PageRankMirror& w) { w.iterations = 10; });
+      s, __func__, wiki(), [](algo::PageRankMirror& w) { w.iterations = 10; });
 }
 BENCHMARK(Broadcast_ScatterCombine_PR)
     ->Unit(benchmark::kMillisecond)
@@ -235,12 +235,12 @@ BENCHMARK(Broadcast_MirrorScatter_PR)
 PGCH_CACHED_DG(road, bench::hash_dg(bench::usa_graph()))
 
 void Sssp_MessagePassing_Road(benchmark::State& s) {
-  bench::run_case<algo::Sssp>(s, road(),
+  bench::run_case<algo::Sssp>(s, __func__, road(),
                               [](algo::Sssp& w) { w.source = 0; });
 }
 void Sssp_PropagationW_Road(benchmark::State& s) {
   bench::run_case<algo::SsspPropagation>(
-      s, road(), [](algo::SsspPropagation& w) { w.source = 0; });
+      s, __func__, road(), [](algo::SsspPropagation& w) { w.source = 0; });
 }
 BENCHMARK(Sssp_MessagePassing_Road)
     ->Unit(benchmark::kMillisecond)
@@ -383,4 +383,4 @@ BENCHMARK(Partition_EdgeCut)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

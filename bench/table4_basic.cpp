@@ -57,86 +57,86 @@ PGCH_CACHED_DG(wiki_bi_part, bench::voronoi_dg(wiki_bi()))
 
 // --------------------------------------------------------------- PR -------
 void PR_WebUK_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPPageRank>(s, webuk());
+  bench::run_case<algo::PPPageRank>(s, __func__, webuk());
 }
 void PR_WebUK_Channel(benchmark::State& s) {
-  bench::run_case<algo::PageRankCombined>(s, webuk());
+  bench::run_case<algo::PageRankCombined>(s, __func__, webuk());
 }
 void PR_Wikipedia_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPPageRank>(s, wikipedia());
+  bench::run_case<algo::PPPageRank>(s, __func__, wikipedia());
 }
 void PR_Wikipedia_Channel(benchmark::State& s) {
-  bench::run_case<algo::PageRankCombined>(s, wikipedia());
+  bench::run_case<algo::PageRankCombined>(s, __func__, wikipedia());
 }
 
 // --------------------------------------------------------------- WCC ------
 void WCC_Wikipedia_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPWcc>(s, wiki_sym_hash());
+  bench::run_case<algo::PPWcc>(s, __func__, wiki_sym_hash());
 }
 void WCC_Wikipedia_Channel(benchmark::State& s) {
-  bench::run_case<algo::WccBasic>(s, wiki_sym_hash());
+  bench::run_case<algo::WccBasic>(s, __func__, wiki_sym_hash());
 }
 void WCC_WikipediaP_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPWcc>(s, wiki_sym_part());
+  bench::run_case<algo::PPWcc>(s, __func__, wiki_sym_part());
 }
 void WCC_WikipediaP_Channel(benchmark::State& s) {
-  bench::run_case<algo::WccBasic>(s, wiki_sym_part());
+  bench::run_case<algo::WccBasic>(s, __func__, wiki_sym_part());
 }
 
 // --------------------------------------------------------------- PJ -------
 void PJ_Chain_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPPointerJumping>(s, chain());
+  bench::run_case<algo::PPPointerJumping>(s, __func__, chain());
 }
 void PJ_Chain_Channel(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingBasic>(s, chain());
+  bench::run_case<algo::PointerJumpingBasic>(s, __func__, chain());
 }
 void PJ_Tree_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPPointerJumping>(s, tree());
+  bench::run_case<algo::PPPointerJumping>(s, __func__, tree());
 }
 void PJ_Tree_Channel(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingBasic>(s, tree());
+  bench::run_case<algo::PointerJumpingBasic>(s, __func__, tree());
 }
 
 // --------------------------------------------------------------- S-V ------
 void SV_Facebook_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPSv>(s, facebook());
+  bench::run_case<algo::PPSv>(s, __func__, facebook());
 }
 void SV_Facebook_Channel(benchmark::State& s) {
-  bench::run_case<algo::SvBasic>(s, facebook());
+  bench::run_case<algo::SvBasic>(s, __func__, facebook());
 }
 void SV_Twitter_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPSv>(s, twitter());
+  bench::run_case<algo::PPSv>(s, __func__, twitter());
 }
 void SV_Twitter_Channel(benchmark::State& s) {
-  bench::run_case<algo::SvBasic>(s, twitter());
+  bench::run_case<algo::SvBasic>(s, __func__, twitter());
 }
 
 // --------------------------------------------------------------- MSF ------
 void MSF_USA_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPMsf>(s, usa());
+  bench::run_case<algo::PPMsf>(s, __func__, usa());
 }
 void MSF_USA_Channel(benchmark::State& s) {
-  bench::run_case<algo::MsfBoruvka>(s, usa());
+  bench::run_case<algo::MsfBoruvka>(s, __func__, usa());
 }
 void MSF_RMAT24_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPMsf>(s, rmat24());
+  bench::run_case<algo::PPMsf>(s, __func__, rmat24());
 }
 void MSF_RMAT24_Channel(benchmark::State& s) {
-  bench::run_case<algo::MsfBoruvka>(s, rmat24());
+  bench::run_case<algo::MsfBoruvka>(s, __func__, rmat24());
 }
 
 // --------------------------------------------------------------- SCC ------
 void SCC_Wikipedia_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPScc>(s, wiki_bi_hash());
+  bench::run_case<algo::PPScc>(s, __func__, wiki_bi_hash());
 }
 void SCC_Wikipedia_Channel(benchmark::State& s) {
-  bench::run_case<algo::SccBasic>(s, wiki_bi_hash());
+  bench::run_case<algo::SccBasic>(s, __func__, wiki_bi_hash());
 }
 void SCC_WikipediaP_Pregel(benchmark::State& s) {
-  bench::run_case<algo::PPScc>(s, wiki_bi_part());
+  bench::run_case<algo::PPScc>(s, __func__, wiki_bi_part());
 }
 void SCC_WikipediaP_Channel(benchmark::State& s) {
-  bench::run_case<algo::SccBasic>(s, wiki_bi_part());
+  bench::run_case<algo::SccBasic>(s, __func__, wiki_bi_part());
 }
 
 #define PGCH_BENCH(fn) \
@@ -169,4 +169,4 @@ PGCH_BENCH(SCC_WikipediaP_Channel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

@@ -32,28 +32,28 @@ PGCH_CACHED_DG(wiki_hash, bench::hash_dg(wiki_sym()))
 PGCH_CACHED_DG(wiki_part, bench::voronoi_dg(wiki_sym()))
 
 void WCC_Wikipedia_PregelBasic(benchmark::State& s) {
-  bench::run_case<algo::PPWcc>(s, wiki_hash());
+  bench::run_case<algo::PPWcc>(s, __func__, wiki_hash());
 }
 void WCC_Wikipedia_Blogel(benchmark::State& s) {
-  bench::run_case<algo::BlogelWcc>(s, wiki_hash());
+  bench::run_case<algo::BlogelWcc>(s, __func__, wiki_hash());
 }
 void WCC_Wikipedia_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::WccBasic>(s, wiki_hash());
+  bench::run_case<algo::WccBasic>(s, __func__, wiki_hash());
 }
 void WCC_Wikipedia_ChannelProp(benchmark::State& s) {
-  bench::run_case<algo::WccPropagation>(s, wiki_hash());
+  bench::run_case<algo::WccPropagation>(s, __func__, wiki_hash());
 }
 void WCC_WikipediaP_PregelBasic(benchmark::State& s) {
-  bench::run_case<algo::PPWcc>(s, wiki_part());
+  bench::run_case<algo::PPWcc>(s, __func__, wiki_part());
 }
 void WCC_WikipediaP_Blogel(benchmark::State& s) {
-  bench::run_case<algo::BlogelWcc>(s, wiki_part());
+  bench::run_case<algo::BlogelWcc>(s, __func__, wiki_part());
 }
 void WCC_WikipediaP_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::WccBasic>(s, wiki_part());
+  bench::run_case<algo::WccBasic>(s, __func__, wiki_part());
 }
 void WCC_WikipediaP_ChannelProp(benchmark::State& s) {
-  bench::run_case<algo::WccPropagation>(s, wiki_part());
+  bench::run_case<algo::WccPropagation>(s, __func__, wiki_part());
 }
 
 #define PGCH_BENCH(fn) \
@@ -70,4 +70,4 @@ PGCH_BENCH(WCC_WikipediaP_ChannelProp);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

@@ -25,28 +25,28 @@ PGCH_CACHED_DG(tree, bench::hash_dg(bench::tree_graph()))
 PGCH_CACHED_DG(chain, bench::hash_dg(bench::chain_graph()))
 
 void PJ_Tree_PregelBasic(benchmark::State& s) {
-  bench::run_case<algo::PPPointerJumping>(s, tree());
+  bench::run_case<algo::PPPointerJumping>(s, __func__, tree());
 }
 void PJ_Tree_PregelReqResp(benchmark::State& s) {
-  bench::run_case<algo::PPPointerJumpingReqResp>(s, tree());
+  bench::run_case<algo::PPPointerJumpingReqResp>(s, __func__, tree());
 }
 void PJ_Tree_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingBasic>(s, tree());
+  bench::run_case<algo::PointerJumpingBasic>(s, __func__, tree());
 }
 void PJ_Tree_ChannelReqResp(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingReqResp>(s, tree());
+  bench::run_case<algo::PointerJumpingReqResp>(s, __func__, tree());
 }
 void PJ_Chain_PregelBasic(benchmark::State& s) {
-  bench::run_case<algo::PPPointerJumping>(s, chain());
+  bench::run_case<algo::PPPointerJumping>(s, __func__, chain());
 }
 void PJ_Chain_PregelReqResp(benchmark::State& s) {
-  bench::run_case<algo::PPPointerJumpingReqResp>(s, chain());
+  bench::run_case<algo::PPPointerJumpingReqResp>(s, __func__, chain());
 }
 void PJ_Chain_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingBasic>(s, chain());
+  bench::run_case<algo::PointerJumpingBasic>(s, __func__, chain());
 }
 void PJ_Chain_ChannelReqResp(benchmark::State& s) {
-  bench::run_case<algo::PointerJumpingReqResp>(s, chain());
+  bench::run_case<algo::PointerJumpingReqResp>(s, __func__, chain());
 }
 
 #define PGCH_BENCH(fn) \
@@ -63,4 +63,4 @@ PGCH_BENCH(PJ_Chain_ChannelReqResp);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

@@ -26,36 +26,36 @@ PGCH_CACHED_DG(webuk, bench::hash_dg(bench::webuk_graph()))
 constexpr int kIterations = 30;  // the paper's 30 PageRank supersteps
 
 template <typename WorkerT>
-void pagerank_case(benchmark::State& state,
+void pagerank_case(benchmark::State& state, const char* name,
                    const bench::DistributedGraph& dg) {
-  bench::run_case<WorkerT>(state, dg, [](WorkerT& w) {
+  bench::run_case<WorkerT>(state, name, dg, [](WorkerT& w) {
     w.iterations = kIterations;
   });
 }
 
 void PR_Wikipedia_PregelBasic(benchmark::State& s) {
-  pagerank_case<algo::PPPageRank>(s, wikipedia());
+  pagerank_case<algo::PPPageRank>(s, __func__, wikipedia());
 }
 void PR_Wikipedia_PregelGhost(benchmark::State& s) {
-  pagerank_case<algo::PPPageRankGhost>(s, wikipedia());
+  pagerank_case<algo::PPPageRankGhost>(s, __func__, wikipedia());
 }
 void PR_Wikipedia_ChannelBasic(benchmark::State& s) {
-  pagerank_case<algo::PageRankCombined>(s, wikipedia());
+  pagerank_case<algo::PageRankCombined>(s, __func__, wikipedia());
 }
 void PR_Wikipedia_ChannelScatter(benchmark::State& s) {
-  pagerank_case<algo::PageRankScatter>(s, wikipedia());
+  pagerank_case<algo::PageRankScatter>(s, __func__, wikipedia());
 }
 void PR_WebUK_PregelBasic(benchmark::State& s) {
-  pagerank_case<algo::PPPageRank>(s, webuk());
+  pagerank_case<algo::PPPageRank>(s, __func__, webuk());
 }
 void PR_WebUK_PregelGhost(benchmark::State& s) {
-  pagerank_case<algo::PPPageRankGhost>(s, webuk());
+  pagerank_case<algo::PPPageRankGhost>(s, __func__, webuk());
 }
 void PR_WebUK_ChannelBasic(benchmark::State& s) {
-  pagerank_case<algo::PageRankCombined>(s, webuk());
+  pagerank_case<algo::PageRankCombined>(s, __func__, webuk());
 }
 void PR_WebUK_ChannelScatter(benchmark::State& s) {
-  pagerank_case<algo::PageRankScatter>(s, webuk());
+  pagerank_case<algo::PageRankScatter>(s, __func__, webuk());
 }
 
 #define PGCH_BENCH(fn) \
@@ -72,4 +72,4 @@ PGCH_BENCH(PR_WebUK_ChannelScatter);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

@@ -27,34 +27,34 @@ PGCH_CACHED_DG(facebook, bench::hash_dg(bench::facebook_graph()))
 PGCH_CACHED_DG(twitter, bench::hash_dg(bench::twitter_graph()))
 
 void SV_Facebook_1_PregelReqResp(benchmark::State& s) {
-  bench::run_case<algo::PPSvReqResp>(s, facebook());
+  bench::run_case<algo::PPSvReqResp>(s, __func__, facebook());
 }
 void SV_Facebook_2_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::SvBasic>(s, facebook());
+  bench::run_case<algo::SvBasic>(s, __func__, facebook());
 }
 void SV_Facebook_3_ChannelReqResp(benchmark::State& s) {
-  bench::run_case<algo::SvReqResp>(s, facebook());
+  bench::run_case<algo::SvReqResp>(s, __func__, facebook());
 }
 void SV_Facebook_4_ChannelScatter(benchmark::State& s) {
-  bench::run_case<algo::SvScatter>(s, facebook());
+  bench::run_case<algo::SvScatter>(s, __func__, facebook());
 }
 void SV_Facebook_5_ChannelBoth(benchmark::State& s) {
-  bench::run_case<algo::SvBoth>(s, facebook());
+  bench::run_case<algo::SvBoth>(s, __func__, facebook());
 }
 void SV_Twitter_1_PregelReqResp(benchmark::State& s) {
-  bench::run_case<algo::PPSvReqResp>(s, twitter());
+  bench::run_case<algo::PPSvReqResp>(s, __func__, twitter());
 }
 void SV_Twitter_2_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::SvBasic>(s, twitter());
+  bench::run_case<algo::SvBasic>(s, __func__, twitter());
 }
 void SV_Twitter_3_ChannelReqResp(benchmark::State& s) {
-  bench::run_case<algo::SvReqResp>(s, twitter());
+  bench::run_case<algo::SvReqResp>(s, __func__, twitter());
 }
 void SV_Twitter_4_ChannelScatter(benchmark::State& s) {
-  bench::run_case<algo::SvScatter>(s, twitter());
+  bench::run_case<algo::SvScatter>(s, __func__, twitter());
 }
 void SV_Twitter_5_ChannelBoth(benchmark::State& s) {
-  bench::run_case<algo::SvBoth>(s, twitter());
+  bench::run_case<algo::SvBoth>(s, __func__, twitter());
 }
 
 #define PGCH_BENCH(fn) \
@@ -73,4 +73,4 @@ PGCH_BENCH(SV_Twitter_5_ChannelBoth);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

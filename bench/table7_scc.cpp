@@ -33,22 +33,22 @@ PGCH_CACHED_DG(wiki_hash, bench::hash_dg(wiki_bi()))
 PGCH_CACHED_DG(wiki_part, bench::voronoi_dg(wiki_bi()))
 
 void SCC_Wikipedia_1_PregelBasic(benchmark::State& s) {
-  bench::run_case<algo::PPScc>(s, wiki_hash());
+  bench::run_case<algo::PPScc>(s, __func__, wiki_hash());
 }
 void SCC_Wikipedia_2_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::SccBasic>(s, wiki_hash());
+  bench::run_case<algo::SccBasic>(s, __func__, wiki_hash());
 }
 void SCC_Wikipedia_3_ChannelProp(benchmark::State& s) {
-  bench::run_case<algo::SccPropagation>(s, wiki_hash());
+  bench::run_case<algo::SccPropagation>(s, __func__, wiki_hash());
 }
 void SCC_WikipediaP_1_PregelBasic(benchmark::State& s) {
-  bench::run_case<algo::PPScc>(s, wiki_part());
+  bench::run_case<algo::PPScc>(s, __func__, wiki_part());
 }
 void SCC_WikipediaP_2_ChannelBasic(benchmark::State& s) {
-  bench::run_case<algo::SccBasic>(s, wiki_part());
+  bench::run_case<algo::SccBasic>(s, __func__, wiki_part());
 }
 void SCC_WikipediaP_3_ChannelProp(benchmark::State& s) {
-  bench::run_case<algo::SccPropagation>(s, wiki_part());
+  bench::run_case<algo::SccPropagation>(s, __func__, wiki_part());
 }
 
 #define PGCH_BENCH(fn) \
@@ -63,4 +63,4 @@ PGCH_BENCH(SCC_WikipediaP_3_ChannelProp);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PGCH_BENCH_MAIN()

@@ -15,11 +15,14 @@
 // Voting: a block deactivates after b_compute and is re-activated when a
 // message arrives for any of its member vertices.
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/engine_base.hpp"
@@ -142,9 +145,12 @@ class BlockWorker : public core::EngineBase,
   }
 
   void communicate() {
-    for (const std::uint32_t lidx : touched_) incoming_[lidx].clear();
-    touched_.clear();
+    for (auto& touched : recv_touched_) {
+      for (const std::uint32_t lidx : touched) incoming_[lidx].clear();
+      touched.clear();
+    }
 
+    const auto s0 = Clock::now();
     const int workers = num_workers();
     if (combiner_) {
       for (const auto& [dst, val] : combine_staged_) {
@@ -163,23 +169,63 @@ class BlockWorker : public core::EngineBase,
       }
     }
 
+    const auto s1 = Clock::now();
     env_.exchange->exchange(env_.rank);
+    const auto s2 = Clock::now();
 
+    // Range-partitioned parallel delivery (DESIGN.md section 8): record
+    // the raw wire spans, then apply by contiguous lidx range, preserving
+    // the sequential (peer order, payload order) fold per vertex. Block
+    // wake-ups cross range boundaries, so they go through an atomic_ref.
+    if (wire_spans_.empty()) {
+      wire_spans_.resize(static_cast<std::size_t>(workers));
+    }
+    std::uint64_t total = 0;
     for (int from = 0; from < workers; ++from) {
       auto& in = env_.exchange->inbox(env_.rank, from);
       const auto n = in.read<std::uint32_t>();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const auto wire = in.read<Wire>();
-        auto& box = incoming_[wire.lidx];
-        if (combiner_ && !box.empty()) {
-          box[0] = (*combiner_)(box[0], wire.value);
-        } else {
-          if (box.empty()) touched_.push_back(wire.lidx);
-          box.push_back(wire.value);
-        }
-        block_active_[lidx_block_[wire.lidx]] = 1;  // wake the block
-      }
+      wire_spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+      in.skip(std::size_t{n} * sizeof(Wire));
+      total += n;
     }
+    const auto apply = [this](std::uint32_t lo, std::uint32_t hi,
+                              int slot) {
+      for (const auto& [ptr, n] : wire_spans_) {
+        const std::byte* p = ptr;
+        for (std::uint32_t i = 0; i < n; ++i, p += sizeof(Wire)) {
+          Wire wire;
+          std::memcpy(&wire, p, sizeof(Wire));
+          if (wire.lidx < lo || wire.lidx >= hi) continue;
+          deliver(wire, slot);
+        }
+      }
+    };
+    if (!parallel_delivery()) {
+      apply(0, num_local(), 0);
+    } else {
+      run_comm_partitioned(total, num_local(), &recv_touched_, apply);
+    }
+    stats_.serialize_seconds += seconds_between(s0, s1);
+    stats_.exchange_seconds += seconds_between(s1, s2);
+    stats_.deliver_seconds += seconds_between(s2, Clock::now());
+  }
+
+  void deliver(const Wire& wire, int delivery_slot) {
+    auto& box = incoming_[wire.lidx];
+    if (combiner_ && !box.empty()) {
+      box[0] = (*combiner_)(box[0], wire.value);
+    } else {
+      if (box.empty()) {
+        recv_touched_[static_cast<std::size_t>(delivery_slot)].push_back(
+            wire.lidx);
+      }
+      box.push_back(wire.value);
+    }
+    // Wake the block: concurrent delivery slots may wake the same block
+    // from different vertex ranges, so the store is atomic (relaxed — the
+    // pool's join orders it before the next superstep's reads).
+    std::atomic_ref<std::uint8_t>(block_active_[lidx_block_[wire.lidx]])
+        .store(1, std::memory_order_relaxed);
   }
 
   // Vertex state (values + frontier) lives in core::VertexColumns.
@@ -191,7 +237,9 @@ class BlockWorker : public core::EngineBase,
   std::unordered_map<KeyT, MsgT> combine_staged_;
   std::vector<std::vector<Wire>> staged_;
   std::vector<std::vector<MsgT>> incoming_;
-  std::vector<std::uint32_t> touched_;
+  std::vector<std::vector<std::uint32_t>> recv_touched_{1};  ///< per slot
+  /// Raw wire span per peer (round-scoped parallel-delivery scratch).
+  std::vector<std::pair<const std::byte*, std::uint32_t>> wire_spans_;
 };
 
 }  // namespace pregel::blogel

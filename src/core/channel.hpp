@@ -18,7 +18,27 @@
 
 namespace pregel::core {
 
+/// Below this many staged/received items a channel's parallel
+/// serialize/delivery path runs its sequential code instead of forking
+/// the pool: both paths produce identical bytes and results, so the
+/// switch is free, and tiny rounds (late sparse supersteps, propagation
+/// tails) skip the fork/join cost that would otherwise dominate them.
+inline constexpr std::size_t kParallelCommMinItems = 4096;
+
 namespace detail {
+
+/// Contiguous share of `n` items owned by `slot` of `slots`: the
+/// [n*slot/slots, n*(slot+1)/slots) range-partition every parallel comm
+/// path uses — ranges ascend with the slot index and cover [0, n)
+/// exactly, so per-slot work concatenated in slot order is the sequential
+/// order.
+inline std::pair<std::uint64_t, std::uint64_t> item_range(std::uint64_t n,
+                                                          int slots,
+                                                          int slot) {
+  const auto s = static_cast<std::uint64_t>(slots);
+  const auto t = static_cast<std::uint64_t>(slot);
+  return {n * t / s, n * (t + 1) / s};
+}
 
 /// Everything a worker rank shares with its team for one run. Created by
 /// launch(); reached by Worker's constructor through a thread-local so the
@@ -109,6 +129,25 @@ class Channel {
   virtual void deserialize() = 0;
   /// Return true to request another communication round this superstep.
   virtual bool again() { return false; }
+
+  // ---- parallel communication phase (DESIGN.md section 8) ---------------
+  // With comm_threads() > 1 the engine calls serialize_parallel() instead
+  // of serialize(), and — when parallel delivery is enabled —
+  // deliver_parallel() instead of deserialize(). Implementations fan the
+  // work over the worker's comm pool: serialize over contiguous
+  // destination-rank ranges writing into pre-sized buffer segments,
+  // delivery over contiguous local-vertex ranges with every slot scanning
+  // the peer inboxes in peer order and applying only its own range (the
+  // per-vertex application order — peer order, then in-payload order — is
+  // the sequential one, so no atomics on values are needed). Wire bytes
+  // and results MUST be identical to the sequential path; the defaults
+  // fall back to it, which is also the right answer for channels whose
+  // delivery order feeds later wire bytes (Propagation's BFS queue).
+
+  /// Parallel-capable serialize; defaults to the sequential serialize().
+  virtual void serialize_parallel() { serialize(); }
+  /// Parallel-capable delivery; defaults to the sequential deserialize().
+  virtual void deliver_parallel() { deserialize(); }
 
   // ---- parallel compute phase (DESIGN.md section 3) ---------------------
   // The worker brackets a chunked multi-thread compute phase between

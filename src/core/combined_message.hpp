@@ -7,14 +7,43 @@
 // while another kind flows uncombined through a different channel.
 //
 // Combining happens on both sides: the sender merges values for the same
-// destination vertex in a hash table before serializing (this hash lookup
-// is exactly the computational cost the scatter-combine channel later
-// eliminates for static patterns), and the receiver merges batches from
-// different workers.
+// destination vertex before serializing, and the receiver merges batches
+// from different workers.
+//
+// Staging is sharded per (compute slot, destination rank) — the parallel
+// communication phase of DESIGN.md section 8:
+//
+//  * Exact combiners (Combiner::exact — min/max/or, integer sums) combine
+//    AT STAGE TIME: each slot keeps a dense partial keyed by the
+//    receiver's local index, so a send is an array write, not a hash
+//    lookup. The partial's value/flag arrays are dense — O(receiver
+//    slice) per (slot, destination rank) pair that sends at all, lazily
+//    allocated and reused for the whole run — while per-superstep work
+//    (merge + reset, via the touched lists) stays O(unique
+//    destinations). A future hash-partial mode is the knob to pull if
+//    slot-count x slice-size dense arrays ever dominate on huge graphs.
+//  * Inexact combiners (floating-point sums) keep per-slot raw message
+//    logs; the merge replays them message by message in slot order, which
+//    is exactly the sequential fold (chunks are contiguous and
+//    ascending), so float results stay bitwise identical across thread
+//    counts. Trade-off: the logs stage O(messages) per superstep rather
+//    than O(unique destinations) — combining them earlier would regroup
+//    the float fold and break the bitwise invariant. (Parallel compute
+//    already staged O(messages) in the SlotStagedLog era; what changed
+//    is that the sequential path now does too.)
+//
+// serialize() merges the shards per destination rank — in parallel over
+// contiguous destination-rank ranges when the engine runs the comm phase
+// with threads — and emits one combined (lidx, value) pair per unique
+// destination in first-touch order, which is itself independent of the
+// thread count. Delivery range-partitions the local vertex space; each
+// slot scans the peer inboxes in peer order and applies only its own
+// range, preserving the sequential per-vertex application order without
+// atomics on values.
 
 #include <cstdint>
+#include <cstring>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -35,24 +64,52 @@ class CombinedMessage : public Channel {
         combiner_(std::move(combiner)),
         slot_(w->num_local(), combiner_.identity),
         has_(w->num_local(), 0),
-        batch_(static_cast<std::size_t>(w->num_workers())) {}
-
-  /// Send m to dst; values for the same destination are combined.
-  void send_message(KeyT dst, const ValT& m) {
-    if (par_.active()) {
-      par_.stage(Send{dst, m});
-      return;
-    }
-    stage(dst, m);
+        shards_(1),
+        merge_(static_cast<std::size_t>(w->num_workers())),
+        recv_touched_(1),
+        spans_(static_cast<std::size_t>(w->num_workers())) {
+    init_shard(shards_[0]);
   }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  /// Send m to dst; values for the same destination are combined. Safe
+  /// from parallel compute threads: staging is keyed by the caller's
+  /// compute slot.
+  void send_message(KeyT dst, const ValT& m) {
+    Shard& shard = shards_[static_cast<std::size_t>(detail::t_compute_slot)];
+    const auto to = static_cast<std::size_t>(w().owner_of(dst));
+    const std::uint32_t lidx = w().local_of(dst);
+    if (combiner_.exact) {
+      // Stage-time combining into the slot's dense per-destination
+      // partial (lazily sized to the receiving rank's slice).
+      Partial& p = shard.partial[to];
+      if (p.vals.empty()) {
+        const std::uint32_t n = peer_local_count(static_cast<int>(to));
+        p.vals.assign(n, combiner_.identity);
+        p.has.assign(n, 0);
+      }
+      if (p.has[lidx]) {
+        p.vals[lidx] = combiner_(p.vals[lidx], m);
+      } else {
+        p.vals[lidx] = m;
+        p.has[lidx] = 1;
+        p.touched.push_back(lidx);
+      }
+    } else {
+      shard.log[to].push_back(Wire{lidx, m});
+    }
+  }
 
-  /// Replay per-slot logs in slot order: the combining sequence is exactly
-  /// the sequential vertex-order one, so results (floating point included)
-  /// are bitwise identical to a single-thread run.
-  void end_compute() override {
-    par_.replay([this](const Send& s) { stage(s.dst, s.value); });
+  /// Grow the shard set to one per compute slot. No replay happens in
+  /// end_compute(): staging is already slot-keyed, and the serialize-time
+  /// merge walks the shards in slot order (the sequential message order).
+  void begin_compute(int num_slots) override {
+    if (static_cast<int>(shards_.size()) < num_slots) {
+      const std::size_t old = shards_.size();
+      shards_.resize(static_cast<std::size_t>(num_slots));
+      for (std::size_t s = old; s < shards_.size(); ++s) {
+        init_shard(shards_[s]);
+      }
+    }
   }
 
   /// Combined value delivered to the current vertex (combiner identity if
@@ -66,28 +123,20 @@ class CombinedMessage : public Channel {
   }
 
   void serialize() override {
-    // Reset the slots the previous superstep filled (already read).
-    for (const std::uint32_t lidx : touched_) {
-      slot_[lidx] = combiner_.identity;
-      has_[lidx] = 0;
-    }
-    touched_.clear();
+    reset_receive_slots();
+    emit_ranks(0, w().num_workers());
+  }
 
-    const int num_workers = w().num_workers();
-    // Bucket the combined map by destination worker (buffers are reused
-    // across supersteps to avoid reallocation).
-    for (const auto& [dst, val] : staged_) {
-      batch_[static_cast<std::size_t>(w().owner_of(dst))].push_back(
-          Wire{w().local_of(dst), val});
-    }
-    staged_.clear();
-    for (int to = 0; to < num_workers; ++to) {
-      runtime::Buffer& out = w().outbox(to);
-      auto& b = batch_[static_cast<std::size_t>(to)];
-      out.write<std::uint32_t>(static_cast<std::uint32_t>(b.size()));
-      if (!b.empty()) out.write_bytes(b.data(), b.size() * sizeof(Wire));
-      b.clear();
-    }
+  /// Fan the per-destination-rank merge + emit over the comm pool: each
+  /// thread owns a contiguous destination-rank range and writes into its
+  /// ranks' outboxes exclusively. Identical bytes to serialize().
+  void serialize_parallel() override {
+    reset_receive_slots();
+    w().run_comm_partitioned(
+        staged_items(), static_cast<std::uint32_t>(w().num_workers()),
+        nullptr, [this](std::uint32_t begin, std::uint32_t end, int) {
+          emit_ranks(static_cast<int>(begin), static_cast<int>(end));
+        });
   }
 
   void deserialize() override {
@@ -97,16 +146,29 @@ class CombinedMessage : public Channel {
       const auto n = in.read<std::uint32_t>();
       for (std::uint32_t i = 0; i < n; ++i) {
         const auto wire = in.read<Wire>();
-        if (has_[wire.lidx]) {
-          slot_[wire.lidx] = combiner_(slot_[wire.lidx], wire.value);
-        } else {
-          slot_[wire.lidx] = wire.value;
-          has_[wire.lidx] = 1;
-          touched_.push_back(wire.lidx);
-        }
-        worker_->activate_local(wire.lidx);  // atomic frontier word-OR
+        apply(wire, 0);
       }
     }
+  }
+
+  /// Range-partitioned delivery: record each peer payload's raw span,
+  /// then every pool slot scans all spans in peer order applying only the
+  /// wires whose destination falls in its contiguous local-vertex range.
+  void deliver_parallel() override {
+    const int num_workers = w().num_workers();
+    std::uint64_t total = 0;
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto n = in.read<std::uint32_t>();
+      spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+      in.skip(std::size_t{n} * sizeof(Wire));
+      total += n;
+    }
+    w().run_comm_partitioned(
+        total, num_local_limit(), &recv_touched_,
+        [this](std::uint32_t lo, std::uint32_t hi, int slot) {
+          apply_spans(lo, hi, slot);
+        });
   }
 
  private:
@@ -114,26 +176,160 @@ class CombinedMessage : public Channel {
     std::uint32_t lidx;
     ValT value;
   };
-  struct Send {
-    KeyT dst;
-    ValT value;
+
+  /// One slot's pending combined values for one destination rank.
+  struct Partial {
+    std::vector<ValT> vals;
+    std::vector<std::uint8_t> has;
+    std::vector<std::uint32_t> touched;  ///< first-touch order
   };
 
-  void stage(KeyT dst, const ValT& m) {
-    auto [it, inserted] = staged_.try_emplace(dst, m);
-    if (!inserted) it->second = combiner_(it->second, m);
+  /// One compute slot's staging, sharded by destination rank.
+  struct Shard {
+    std::vector<Partial> partial;          ///< exact combiners
+    std::vector<std::vector<Wire>> log;    ///< inexact combiners
+  };
+
+  void init_shard(Shard& s) {
+    const auto workers = static_cast<std::size_t>(w().num_workers());
+    s.partial.resize(workers);
+    s.log.resize(workers);
+  }
+
+  [[nodiscard]] std::uint32_t peer_local_count(int rank) const {
+    return worker_->dgraph().num_local(rank);
+  }
+
+  [[nodiscard]] std::uint32_t num_local_limit() const {
+    return worker_->num_local();
+  }
+
+  [[nodiscard]] std::uint64_t staged_items() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      for (const Partial& p : s.partial) total += p.touched.size();
+      for (const auto& log : s.log) total += log.size();
+    }
+    return total;
+  }
+
+  /// Drop the receive state the previous superstep's compute read.
+  void reset_receive_slots() {
+    for (auto& touched : recv_touched_) {
+      for (const std::uint32_t lidx : touched) {
+        slot_[lidx] = combiner_.identity;
+        has_[lidx] = 0;
+      }
+      touched.clear();
+    }
+  }
+
+  /// Merge every shard's staging for destination ranks [begin, end) and
+  /// emit one combined wire pair per unique destination. Walking shards
+  /// in slot order makes both the fold sequence (raw logs: message by
+  /// message) and the first-touch wire order exactly the sequential ones,
+  /// so bytes and float bits are independent of the thread count.
+  void emit_ranks(int begin, int end) {
+    for (int to = begin; to < end; ++to) {
+      const auto peer = static_cast<std::size_t>(to);
+      if (combiner_.exact && shards_.size() == 1) {
+        // Single-shard exact staging: the slot partial already holds the
+        // final combined values in first-touch order — emit it directly.
+        Partial& p = shards_[0].partial[peer];
+        runtime::Buffer& direct = w().outbox(to);
+        direct.write<std::uint32_t>(
+            static_cast<std::uint32_t>(p.touched.size()));
+        for (const std::uint32_t lidx : p.touched) {
+          direct.write(Wire{lidx, p.vals[lidx]});
+          p.vals[lidx] = combiner_.identity;
+          p.has[lidx] = 0;
+        }
+        p.touched.clear();
+        continue;
+      }
+      Partial& m = merge_[peer];
+      if (m.vals.empty()) {
+        const std::uint32_t n = peer_local_count(to);
+        m.vals.assign(n, combiner_.identity);
+        m.has.assign(n, 0);
+      }
+      for (Shard& shard : shards_) {
+        Partial& p = shard.partial[peer];
+        for (const std::uint32_t lidx : p.touched) {
+          fold_into(m, lidx, p.vals[lidx]);
+          p.vals[lidx] = combiner_.identity;
+          p.has[lidx] = 0;
+        }
+        p.touched.clear();
+        auto& log = shard.log[peer];
+        for (const Wire& wire : log) fold_into(m, wire.lidx, wire.value);
+        log.clear();
+      }
+      runtime::Buffer& out = w().outbox(to);
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(m.touched.size()));
+      for (const std::uint32_t lidx : m.touched) {
+        out.write(Wire{lidx, m.vals[lidx]});
+        m.vals[lidx] = combiner_.identity;
+        m.has[lidx] = 0;
+      }
+      m.touched.clear();
+    }
+  }
+
+  void fold_into(Partial& m, std::uint32_t lidx, const ValT& v) {
+    if (m.has[lidx]) {
+      m.vals[lidx] = combiner_(m.vals[lidx], v);
+    } else {
+      m.vals[lidx] = v;
+      m.has[lidx] = 1;
+      m.touched.push_back(lidx);
+    }
+  }
+
+  /// Receiver-side apply of one wire pair into the delivery slot's state.
+  void apply(const Wire& wire, int delivery_slot) {
+    if (has_[wire.lidx]) {
+      slot_[wire.lidx] = combiner_(slot_[wire.lidx], wire.value);
+    } else {
+      slot_[wire.lidx] = wire.value;
+      has_[wire.lidx] = 1;
+      recv_touched_[static_cast<std::size_t>(delivery_slot)].push_back(
+          wire.lidx);
+    }
+    worker_->activate_local(wire.lidx);  // atomic frontier word-OR
+  }
+
+  /// Apply all recorded peer spans restricted to lidx in [lo, hi) — peer
+  /// order, then in-payload order, i.e. the sequential per-vertex order.
+  void apply_spans(std::uint32_t lo, std::uint32_t hi, int delivery_slot) {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      const auto& [ptr, n] = spans_[static_cast<std::size_t>(from)];
+      const std::byte* p = ptr;
+      for (std::uint32_t i = 0; i < n; ++i, p += sizeof(Wire)) {
+        Wire wire;
+        std::memcpy(&wire, p, sizeof(Wire));
+        if (wire.lidx < lo || wire.lidx >= hi) continue;
+        apply(wire, delivery_slot);
+      }
+    }
   }
 
   Worker<VertexT>* worker_;
   Combiner<ValT> combiner_;
-  std::unordered_map<KeyT, ValT> staged_;  ///< sender-side combining
-  std::vector<ValT> slot_;                 ///< receiver-side combined value
-  std::vector<std::uint8_t> has_;
-  std::vector<std::uint32_t> touched_;
-  std::vector<std::vector<Wire>> batch_;   ///< per-worker staging, reused
 
-  // Parallel compute staging (see Channel::begin_compute).
-  detail::SlotStagedLog<Send> par_;
+  // Receiver side.
+  std::vector<ValT> slot_;            ///< combined value per local vertex
+  std::vector<std::uint8_t> has_;
+  // Sender side: per-slot shards plus the per-rank merge state serialize
+  // reuses every superstep.
+  std::vector<Shard> shards_;
+  std::vector<Partial> merge_;
+  // Delivery bookkeeping: per-delivery-slot touched lists (reset lazily
+  // next serialize; order across slots is irrelevant) and the per-peer
+  // payload spans of the round being delivered.
+  std::vector<std::vector<std::uint32_t>> recv_touched_;
+  std::vector<std::pair<const std::byte*, std::uint32_t>> spans_;
 };
 
 }  // namespace pregel::core

@@ -3,8 +3,18 @@
 // Equivalent to Pregel's raw message passing: any vertex can send a value
 // to any known vertex; the receiver iterates the values that arrived in
 // the previous superstep.
+//
+// Staging is sharded per (compute slot, destination rank): a send is one
+// push into the caller's own shard, and serialize() concatenates the
+// shards in slot order — the sequential message order, since compute
+// chunks are contiguous and ascending — fanning the per-destination-rank
+// emission over the comm pool when the engine runs the communication
+// phase with threads. Delivery range-partitions the local vertex space
+// (DESIGN.md section 8); per-vertex arrival order stays (peer order, then
+// in-payload order), exactly the sequential one.
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <utility>
@@ -23,22 +33,30 @@ class DirectMessage : public Channel {
   explicit DirectMessage(Worker<VertexT>* w, std::string name = "direct")
       : Channel(w, std::move(name)),
         worker_(w),
-        staged_(static_cast<std::size_t>(w->num_workers())),
-        incoming_(w->num_local()) {}
-
-  /// Queue a message for vertex `dst`, delivered next superstep.
-  void send_message(KeyT dst, const ValT& m) {
-    if (par_.active()) {
-      par_.stage(Staged{dst, m});
-      return;
-    }
-    stage(dst, m);
+        shards_(1),
+        incoming_(w->num_local()),
+        recv_touched_(1),
+        spans_(static_cast<std::size_t>(w->num_workers())) {
+    init_shard(shards_[0]);
   }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  /// Queue a message for vertex `dst`, delivered next superstep. Safe
+  /// from parallel compute threads: staging is keyed by the caller's
+  /// compute slot.
+  void send_message(KeyT dst, const ValT& m) {
+    Shard& shard = shards_[static_cast<std::size_t>(detail::t_compute_slot)];
+    shard[static_cast<std::size_t>(w().owner_of(dst))].push_back(
+        Wire{w().local_of(dst), m});
+  }
 
-  void end_compute() override {
-    par_.replay([this](const Staged& s) { stage(s.dst, s.value); });
+  void begin_compute(int num_slots) override {
+    if (static_cast<int>(shards_.size()) < num_slots) {
+      const std::size_t old = shards_.size();
+      shards_.resize(static_cast<std::size_t>(num_slots));
+      for (std::size_t s = old; s < shards_.size(); ++s) {
+        init_shard(shards_[s]);
+      }
+    }
   }
 
   /// Messages delivered to the vertex currently being computed.
@@ -51,21 +69,21 @@ class DirectMessage : public Channel {
   }
 
   void serialize() override {
-    // Drop the messages the previous superstep delivered (they have been
-    // read during this superstep's compute phase).
-    for (const std::uint32_t lidx : touched_) incoming_[lidx].clear();
-    touched_.clear();
+    reset_receive_slots();
+    emit_ranks(0, w().num_workers());
+  }
 
-    const int num_workers = w().num_workers();
-    for (int to = 0; to < num_workers; ++to) {
-      auto& batch = staged_[static_cast<std::size_t>(to)];
-      runtime::Buffer& out = w().outbox(to);
-      out.write<std::uint32_t>(static_cast<std::uint32_t>(batch.size()));
-      if (!batch.empty()) {
-        out.write_bytes(batch.data(), batch.size() * sizeof(Wire));
-        batch.clear();
-      }
+  void serialize_parallel() override {
+    reset_receive_slots();
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      for (const auto& batch : s) total += batch.size();
     }
+    w().run_comm_partitioned(
+        total, static_cast<std::uint32_t>(w().num_workers()), nullptr,
+        [this](std::uint32_t begin, std::uint32_t end, int) {
+          emit_ranks(static_cast<int>(begin), static_cast<int>(end));
+        });
   }
 
   void deserialize() override {
@@ -74,12 +92,27 @@ class DirectMessage : public Channel {
       runtime::Buffer& in = w().inbox(from);
       const auto n = in.read<std::uint32_t>();
       for (std::uint32_t i = 0; i < n; ++i) {
-        const auto wire = in.read<Wire>();
-        if (incoming_[wire.lidx].empty()) touched_.push_back(wire.lidx);
-        incoming_[wire.lidx].push_back(wire.value);
-        worker_->activate_local(wire.lidx);  // atomic frontier word-OR
+        apply(in.read<Wire>(), 0);
       }
     }
+  }
+
+  /// Range-partitioned delivery (see CombinedMessage::deliver_parallel).
+  void deliver_parallel() override {
+    const int num_workers = w().num_workers();
+    std::uint64_t total = 0;
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto n = in.read<std::uint32_t>();
+      spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+      in.skip(std::size_t{n} * sizeof(Wire));
+      total += n;
+    }
+    w().run_comm_partitioned(
+        total, worker_->num_local(), &recv_touched_,
+        [this](std::uint32_t lo, std::uint32_t hi, int slot) {
+          apply_spans(lo, hi, slot);
+        });
   }
 
  private:
@@ -87,23 +120,70 @@ class DirectMessage : public Channel {
     std::uint32_t lidx;  ///< receiver's local index (ids are 32-bit too)
     ValT value;
   };
-  struct Staged {
-    KeyT dst;
-    ValT value;
-  };
 
-  void stage(KeyT dst, const ValT& m) {
-    staged_[static_cast<std::size_t>(w().owner_of(dst))].push_back(
-        Wire{w().local_of(dst), m});
+  /// One compute slot's staged wires, bucketed by destination rank.
+  using Shard = std::vector<std::vector<Wire>>;
+
+  void init_shard(Shard& s) {
+    s.resize(static_cast<std::size_t>(w().num_workers()));
+  }
+
+  /// Drop the messages the previous superstep delivered (they have been
+  /// read during this superstep's compute phase).
+  void reset_receive_slots() {
+    for (auto& touched : recv_touched_) {
+      for (const std::uint32_t lidx : touched) incoming_[lidx].clear();
+      touched.clear();
+    }
+  }
+
+  /// Emit destination ranks [begin, end): per rank, the shard batches
+  /// concatenated in slot order — the sequential send order.
+  void emit_ranks(int begin, int end) {
+    for (int to = begin; to < end; ++to) {
+      const auto peer = static_cast<std::size_t>(to);
+      runtime::Buffer& out = w().outbox(to);
+      std::size_t count = 0;
+      for (const Shard& s : shards_) count += s[peer].size();
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(count));
+      for (Shard& s : shards_) {
+        auto& batch = s[peer];
+        if (!batch.empty()) {
+          out.write_bytes(batch.data(), batch.size() * sizeof(Wire));
+          batch.clear();
+        }
+      }
+    }
+  }
+
+  void apply(const Wire& wire, int delivery_slot) {
+    if (incoming_[wire.lidx].empty()) {
+      recv_touched_[static_cast<std::size_t>(delivery_slot)].push_back(
+          wire.lidx);
+    }
+    incoming_[wire.lidx].push_back(wire.value);
+    worker_->activate_local(wire.lidx);  // atomic frontier word-OR
+  }
+
+  void apply_spans(std::uint32_t lo, std::uint32_t hi, int delivery_slot) {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      const auto& [ptr, n] = spans_[static_cast<std::size_t>(from)];
+      const std::byte* p = ptr;
+      for (std::uint32_t i = 0; i < n; ++i, p += sizeof(Wire)) {
+        Wire wire;
+        std::memcpy(&wire, p, sizeof(Wire));
+        if (wire.lidx < lo || wire.lidx >= hi) continue;
+        apply(wire, delivery_slot);
+      }
+    }
   }
 
   Worker<VertexT>* worker_;
-  std::vector<std::vector<Wire>> staged_;     ///< per destination worker
+  std::vector<Shard> shards_;                 ///< per compute slot
   std::vector<std::vector<ValT>> incoming_;   ///< per local vertex
-  std::vector<std::uint32_t> touched_;        ///< lidxs to clear lazily
-
-  // Parallel compute staging (see Channel::begin_compute).
-  detail::SlotStagedLog<Staged> par_;
+  std::vector<std::vector<std::uint32_t>> recv_touched_;  ///< per slot
+  std::vector<std::pair<const std::byte*, std::uint32_t>> spans_;
 };
 
 }  // namespace pregel::core

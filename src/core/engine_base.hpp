@@ -17,11 +17,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/channel.hpp"  // detail::Env / t_env
 #include "graph/distributed.hpp"
+#include "runtime/compute_pool.hpp"
 #include "runtime/stats.hpp"
 
 namespace pregel::core {
@@ -55,6 +58,72 @@ class EngineBase {
 
   [[nodiscard]] const runtime::RunStats& stats() const noexcept {
     return stats_;
+  }
+
+  // ---- parallel communication phase (DESIGN.md section 8) ---------------
+
+  /// Intra-rank parallelism of the communication phase: > 1 makes the
+  /// engine drive channels through serialize_parallel() (sharded outbox
+  /// staging over the rank's thread pool) and sizes the delivery fan-out.
+  /// Defaults to PGCH_COMM_THREADS (which itself defaults to
+  /// PGCH_COMPUTE_THREADS); 1 restores the exact sequential path. Must be
+  /// set before run().
+  void set_comm_threads(int threads) {
+    comm_threads_ = threads > 1 ? threads : 1;
+  }
+  [[nodiscard]] int comm_threads() const noexcept { return comm_threads_; }
+
+  /// Receiver-side range-partitioned parallel delivery (defaults to
+  /// PGCH_PARALLEL_DELIVERY). Takes effect only with comm_threads() > 1;
+  /// results and wire bytes are identical either way.
+  void set_parallel_delivery(bool on) { parallel_delivery_enabled_ = on; }
+  [[nodiscard]] bool parallel_delivery() const noexcept {
+    return parallel_delivery_enabled_ && comm_threads_ > 1;
+  }
+
+  /// The rank's shared thread pool (compute chunks and the parallel
+  /// communication phase both run on it), grown to at least `slots`
+  /// slots. Callers must guard their per-slot work with
+  /// `slot >= their_thread_count` — the pool may be larger than either
+  /// phase's request.
+  runtime::ComputePool& pool(int slots) {
+    if (!pool_ || pool_->slots() < slots) {
+      pool_ = std::make_unique<runtime::ComputePool>(slots < 2 ? 2 : slots);
+    }
+    return *pool_;
+  }
+
+  /// The pool sized for the communication phase. Only call with
+  /// comm_threads() > 1.
+  runtime::ComputePool& comm_pool() { return pool(comm_threads_); }
+
+  /// The shared shape of every parallel comm path: run
+  /// `apply(lo, hi, slot)` over the contiguous range partition of
+  /// [0, n_items) — on the calling thread as apply(0, n_items, 0) when
+  /// comm is sequential or `total_work` is below the parallel threshold
+  /// (both paths must produce identical bytes, so the switch is free),
+  /// else fanned over the comm pool. `touched` (optional) is grown to
+  /// one list per slot first — the per-slot receive-touched bookkeeping
+  /// delivery paths key by their slot argument.
+  template <typename ApplyRange>
+  void run_comm_partitioned(std::uint64_t total_work, std::uint32_t n_items,
+                            std::vector<std::vector<std::uint32_t>>* touched,
+                            ApplyRange&& apply) {
+    const int threads = comm_threads();
+    if (threads <= 1 || total_work < kParallelCommMinItems) {
+      apply(std::uint32_t{0}, n_items, 0);
+      return;
+    }
+    if (touched != nullptr &&
+        static_cast<int>(touched->size()) < threads) {
+      touched->resize(static_cast<std::size_t>(threads));
+    }
+    comm_pool().run([&](int slot) {
+      if (slot >= threads) return;  // pool may outsize the comm phase
+      const auto [lo, hi] = detail::item_range(n_items, threads, slot);
+      apply(static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi),
+            slot);
+    });
   }
 
   /// Drive the superstep loop to global quiescence. Collective: every rank
@@ -118,6 +187,9 @@ class EngineBase {
   detail::Env env_;
   int step_ = 0;
   runtime::RunStats stats_;
+  int comm_threads_ = runtime::comm_threads_from_env();
+  bool parallel_delivery_enabled_ = runtime::parallel_delivery_from_env();
+  std::unique_ptr<runtime::ComputePool> pool_;
 };
 
 }  // namespace pregel::core

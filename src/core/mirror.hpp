@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -52,8 +53,11 @@ class MirrorScatter : public Channel {
         senders_(static_cast<std::size_t>(w->num_workers())),
         slot_(w->num_local(), combiner_.identity),
         has_(w->num_local(), 0),
+        recv_touched_(1),
         mirrors_(static_cast<std::size_t>(w->num_workers())),
-        handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0) {}
+        handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0),
+        seg_(static_cast<std::size_t>(w->num_workers()), nullptr),
+        spans_(static_cast<std::size_t>(w->num_workers())) {}
 
   /// Register an outgoing edge of the current vertex (static pattern:
   /// all edges before the first set_message is delivered).
@@ -81,42 +85,13 @@ class MirrorScatter : public Channel {
     return has_[w().current_local()] != 0;
   }
 
-  void serialize() override {
-    for (const std::uint32_t lidx : touched_) {
-      slot_[lidx] = combiner_.identity;
-      has_[lidx] = 0;
-    }
-    touched_.clear();
+  void serialize() override { serialize_impl(/*parallel=*/false); }
 
-    const int num_workers = w().num_workers();
-    if (!dirty_.load(std::memory_order_relaxed)) {
-      for (int to = 0; to < num_workers; ++to) {
-        w().outbox(to).write<std::uint8_t>(kTagIdle);
-      }
-      return;
-    }
-    dirty_.store(false, std::memory_order_relaxed);
-    if (!finalized_) finalize();
-
-    for (int to = 0; to < num_workers; ++to) {
-      runtime::Buffer& out = w().outbox(to);
-      auto& to_peer = senders_[static_cast<std::size_t>(to)];
-      const bool first = handshake_sent_[static_cast<std::size_t>(to)] == 0;
-      out.write<std::uint8_t>(first ? kTagHandshake : kTagValues);
-      out.write<std::uint32_t>(static_cast<std::uint32_t>(to_peer.size()));
-      if (first) {
-        // Install the mirror tables: per sending vertex, the neighbor
-        // list it owns on that worker (positional from now on).
-        for (const auto& s : to_peer) {
-          out.write_vector(s.targets);
-        }
-        handshake_sent_[static_cast<std::size_t>(to)] = 1;
-      }
-      for (const auto& s : to_peer) {
-        out.write<ValT>(vals_[s.src]);
-      }
-    }
-  }
+  /// Steady-state rounds ship one bare value per (source, worker) at a
+  /// fixed position, so the payload segments are pre-sized and the comm
+  /// pool fills contiguous destination-rank ranges concurrently
+  /// (DESIGN.md section 8). Bytes are identical to serialize().
+  void serialize_parallel() override { serialize_impl(/*parallel=*/true); }
 
   void deserialize() override {
     const int num_workers = w().num_workers();
@@ -136,17 +111,44 @@ class MirrorScatter : public Channel {
       for (std::uint32_t i = 0; i < n; ++i) {
         const auto val = in.read<ValT>();
         for (const std::uint32_t lidx : table[i]) {
-          if (has_[lidx]) {
-            slot_[lidx] = combiner_(slot_[lidx], val);
-          } else {
-            slot_[lidx] = val;
-            has_[lidx] = 1;
-            touched_.push_back(lidx);
-          }
-          worker_->activate_local(lidx);  // atomic frontier word-OR
+          apply(lidx, val, 0);
         }
       }
     }
+  }
+
+  /// Range-partitioned delivery: mirror tables are installed sequentially
+  /// (first round only), then every pool slot scans each peer's value
+  /// list and scatters only the mirror targets inside its contiguous
+  /// local-vertex range. Per-vertex fold order stays (peer order, then
+  /// source order) — the sequential one.
+  void deliver_parallel() override {
+    const int num_workers = w().num_workers();
+    std::uint64_t total_targets = 0;
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto tag = in.read<std::uint8_t>();
+      if (tag == kTagIdle) {
+        spans_[static_cast<std::size_t>(from)] = {nullptr, 0};
+        continue;
+      }
+      const auto n = in.read<std::uint32_t>();
+      auto& table = mirrors_[static_cast<std::size_t>(from)];
+      if (tag == kTagHandshake) {
+        table.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          table[i] = in.read_vector<std::uint32_t>();
+        }
+      }
+      spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+      in.skip(std::size_t{n} * sizeof(ValT));
+      for (std::uint32_t i = 0; i < n; ++i) total_targets += table[i].size();
+    }
+    w().run_comm_partitioned(
+        total_targets, worker_->num_local(), &recv_touched_,
+        [this](std::uint32_t lo, std::uint32_t hi, int slot) {
+          apply_spans(lo, hi, slot);
+        });
   }
 
  private:
@@ -182,6 +184,99 @@ class MirrorScatter : public Channel {
     finalized_ = true;
   }
 
+  void serialize_impl(bool parallel) {
+    for (auto& touched : recv_touched_) {
+      for (const std::uint32_t lidx : touched) {
+        slot_[lidx] = combiner_.identity;
+        has_[lidx] = 0;
+      }
+      touched.clear();
+    }
+
+    const int num_workers = w().num_workers();
+    if (!dirty_.load(std::memory_order_relaxed)) {
+      for (int to = 0; to < num_workers; ++to) {
+        w().outbox(to).write<std::uint8_t>(kTagIdle);
+      }
+      return;
+    }
+    dirty_.store(false, std::memory_order_relaxed);
+    if (!finalized_) finalize();
+
+    // Headers, one-time mirror-table handshakes, and payload segment
+    // reservation (one value per sender at a fixed position).
+    std::uint64_t total_senders = 0;
+    for (int to = 0; to < num_workers; ++to) {
+      runtime::Buffer& out = w().outbox(to);
+      auto& to_peer = senders_[static_cast<std::size_t>(to)];
+      const bool first = handshake_sent_[static_cast<std::size_t>(to)] == 0;
+      out.write<std::uint8_t>(first ? kTagHandshake : kTagValues);
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(to_peer.size()));
+      if (first) {
+        // Install the mirror tables: per sending vertex, the neighbor
+        // list it owns on that worker (positional from now on).
+        for (const auto& s : to_peer) {
+          out.write_vector(s.targets);
+        }
+        handshake_sent_[static_cast<std::size_t>(to)] = 1;
+      }
+      seg_[static_cast<std::size_t>(to)] =
+          out.extend(to_peer.size() * sizeof(ValT));
+      total_senders += to_peer.size();
+    }
+
+    if (!parallel) {
+      fill_ranks(0, num_workers);
+      return;
+    }
+    w().run_comm_partitioned(
+        total_senders, static_cast<std::uint32_t>(num_workers), nullptr,
+        [this](std::uint32_t begin, std::uint32_t end, int) {
+          fill_ranks(static_cast<int>(begin), static_cast<int>(end));
+        });
+  }
+
+  /// Copy the broadcast values of destination ranks [begin, end) into
+  /// their pre-sized segments, in the agreed sender order.
+  void fill_ranks(int begin, int end) {
+    for (int to = begin; to < end; ++to) {
+      const auto& to_peer = senders_[static_cast<std::size_t>(to)];
+      std::byte* p = seg_[static_cast<std::size_t>(to)];
+      for (const auto& s : to_peer) {
+        std::memcpy(p, &vals_[s.src], sizeof(ValT));
+        p += sizeof(ValT);
+      }
+    }
+  }
+
+  void apply(std::uint32_t lidx, const ValT& val, int delivery_slot) {
+    if (has_[lidx]) {
+      slot_[lidx] = combiner_(slot_[lidx], val);
+    } else {
+      slot_[lidx] = val;
+      has_[lidx] = 1;
+      recv_touched_[static_cast<std::size_t>(delivery_slot)].push_back(lidx);
+    }
+    worker_->activate_local(lidx);  // atomic frontier word-OR
+  }
+
+  void apply_spans(std::uint32_t lo, std::uint32_t hi, int delivery_slot) {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      const auto& [ptr, n] = spans_[static_cast<std::size_t>(from)];
+      const auto& table = mirrors_[static_cast<std::size_t>(from)];
+      const std::byte* p = ptr;
+      for (std::uint32_t i = 0; i < n; ++i, p += sizeof(ValT)) {
+        ValT val;
+        std::memcpy(&val, p, sizeof(ValT));
+        for (const std::uint32_t lidx : table[i]) {
+          if (lidx < lo || lidx >= hi) continue;
+          apply(lidx, val, delivery_slot);
+        }
+      }
+    }
+  }
+
   Worker<VertexT>* worker_;
   Combiner<ValT> combiner_;
 
@@ -195,10 +290,14 @@ class MirrorScatter : public Channel {
   // Receiver side.
   std::vector<ValT> slot_;
   std::vector<std::uint8_t> has_;
-  std::vector<std::uint32_t> touched_;
+  std::vector<std::vector<std::uint32_t>> recv_touched_;  ///< per slot
   /// Per sending worker: target lists aligned with its sender order.
   std::vector<std::vector<std::vector<std::uint32_t>>> mirrors_;
   std::vector<std::uint8_t> handshake_sent_;
+
+  // Round-scoped scratch of the parallel paths.
+  std::vector<std::byte*> seg_;  ///< payload segment base per worker
+  std::vector<std::pair<const std::byte*, std::uint32_t>> spans_;
 };
 
 }  // namespace pregel::core

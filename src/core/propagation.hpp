@@ -13,7 +13,17 @@
 // converged result (min/max/or are the intended instances) — the same
 // requirement Blogel's block programs and GAS's async mode impose.
 
+// Parallel communication phase (DESIGN.md section 8): the worker-local
+// BFS drain is inherently sequential (its FIFO order defines the staged
+// updates AND the next round's wire bytes), so only the payload write-out
+// fans over the comm pool — each thread owns a contiguous destination-rank
+// range and fills pre-sized buffer segments. Delivery keeps the
+// sequential fallback on purpose: received updates push into the BFS
+// queue, whose order feeds the following round's bytes, so a
+// range-partitioned delivery would change the wire (not the fixpoint).
+
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,50 +107,14 @@ class Propagation : public Channel {
   }
 
   void serialize() override {
-    // Local propagation to fixpoint: drain the worker-local queue, moving
-    // values along local edges directly and accumulating (combined)
-    // updates for remote vertices. FIFO order matters: a BFS-like sweep
-    // spreads labels level by level, while a stack would push one label
-    // deep into a region and then redo the whole region when a better
-    // label arrives (exponential redundant work on skewed graphs).
-    while (head_ < queue_.size()) {
-      const std::uint32_t u = queue_[head_++];
-      in_queue_[u] = 0;
-      const ValT uv = vals_[u];
-      for (const std::uint32_t t : local_adj_[u]) {
-        const ValT nv = combiner_(vals_[t], uv);
-        if (nv != vals_[t]) {
-          vals_[t] = nv;
-          push(t);
-          worker_->activate_local(t);  // atomic frontier word-OR
-        }
-      }
-      for (const RemoteEdge& e : remote_adj_[u]) {
-        auto& acc = staged_remote_[static_cast<std::size_t>(e.owner)];
-        if (acc.has[e.lidx]) {
-          acc.vals[e.lidx] = combiner_(acc.vals[e.lidx], uv);
-        } else {
-          acc.vals[e.lidx] = uv;
-          acc.has[e.lidx] = 1;
-          acc.touched.push_back(e.lidx);
-        }
-      }
-    }
-    queue_.clear();
-    head_ = 0;
-    const int num_workers = w().num_workers();
-    for (int to = 0; to < num_workers; ++to) {
-      runtime::Buffer& out = w().outbox(to);
-      auto& acc = staged_remote_[static_cast<std::size_t>(to)];
-      out.write<std::uint32_t>(static_cast<std::uint32_t>(acc.touched.size()));
-      for (const std::uint32_t lidx : acc.touched) {
-        out.write<std::uint32_t>(lidx);
-        out.write<ValT>(acc.vals[lidx]);
-        acc.vals[lidx] = combiner_.identity;
-        acc.has[lidx] = 0;
-      }
-      acc.touched.clear();
-    }
+    drain();
+    emit(/*parallel=*/false);
+  }
+
+  /// Sequential BFS drain, parallel payload write-out (see header note).
+  void serialize_parallel() override {
+    drain();
+    emit(/*parallel=*/true);
   }
 
   void deserialize() override {
@@ -176,6 +150,89 @@ class Propagation : public Channel {
     }
   }
 
+  /// Local propagation to fixpoint: drain the worker-local queue, moving
+  /// values along local edges directly and accumulating (combined)
+  /// updates for remote vertices. FIFO order matters: a BFS-like sweep
+  /// spreads labels level by level, while a stack would push one label
+  /// deep into a region and then redo the whole region when a better
+  /// label arrives (exponential redundant work on skewed graphs).
+  void drain() {
+    while (head_ < queue_.size()) {
+      const std::uint32_t u = queue_[head_++];
+      in_queue_[u] = 0;
+      const ValT uv = vals_[u];
+      for (const std::uint32_t t : local_adj_[u]) {
+        const ValT nv = combiner_(vals_[t], uv);
+        if (nv != vals_[t]) {
+          vals_[t] = nv;
+          push(t);
+          worker_->activate_local(t);  // atomic frontier word-OR
+        }
+      }
+      for (const RemoteEdge& e : remote_adj_[u]) {
+        auto& acc = staged_remote_[static_cast<std::size_t>(e.owner)];
+        if (acc.has[e.lidx]) {
+          acc.vals[e.lidx] = combiner_(acc.vals[e.lidx], uv);
+        } else {
+          acc.vals[e.lidx] = uv;
+          acc.has[e.lidx] = 1;
+          acc.touched.push_back(e.lidx);
+        }
+      }
+    }
+    queue_.clear();
+    head_ = 0;
+  }
+
+  /// Ship the staged remote updates: counts and pre-sized segments first,
+  /// then the (lidx, value) records — filled over the comm pool by
+  /// contiguous destination-rank range when `parallel`, in touched order
+  /// either way, so the bytes are identical.
+  void emit(bool parallel) {
+    const int num_workers = w().num_workers();
+    if (seg_.empty()) {
+      seg_.assign(static_cast<std::size_t>(num_workers), nullptr);
+    }
+    std::uint64_t total = 0;
+    for (int to = 0; to < num_workers; ++to) {
+      runtime::Buffer& out = w().outbox(to);
+      const auto& acc = staged_remote_[static_cast<std::size_t>(to)];
+      out.write<std::uint32_t>(
+          static_cast<std::uint32_t>(acc.touched.size()));
+      seg_[static_cast<std::size_t>(to)] =
+          out.extend(acc.touched.size() * kEntryBytes);
+      total += acc.touched.size();
+    }
+    if (!parallel) {
+      fill_ranks(0, num_workers);
+      return;
+    }
+    w().run_comm_partitioned(
+        total, static_cast<std::uint32_t>(num_workers), nullptr,
+        [this](std::uint32_t begin, std::uint32_t end, int) {
+          fill_ranks(static_cast<int>(begin), static_cast<int>(end));
+        });
+  }
+
+  void fill_ranks(int begin, int end) {
+    for (int to = begin; to < end; ++to) {
+      auto& acc = staged_remote_[static_cast<std::size_t>(to)];
+      std::byte* p = seg_[static_cast<std::size_t>(to)];
+      for (const std::uint32_t lidx : acc.touched) {
+        std::memcpy(p, &lidx, sizeof(std::uint32_t));
+        std::memcpy(p + sizeof(std::uint32_t), &acc.vals[lidx],
+                    sizeof(ValT));
+        p += kEntryBytes;
+        acc.vals[lidx] = combiner_.identity;
+        acc.has[lidx] = 0;
+      }
+      acc.touched.clear();
+    }
+  }
+
+  static constexpr std::size_t kEntryBytes =
+      sizeof(std::uint32_t) + sizeof(ValT);
+
   Worker<VertexT>* worker_;
   Combiner<ValT> combiner_;
 
@@ -194,6 +251,10 @@ class Propagation : public Channel {
     std::vector<std::uint32_t> touched;
   };
   std::vector<StagedPeer> staged_remote_;
+
+  /// Payload segment base per destination rank (round-scoped scratch of
+  /// the parallel write-out).
+  std::vector<std::byte*> seg_;
 
   // Parallel compute staging for the shared seed queue (see
   // Channel::begin_compute).

@@ -16,7 +16,13 @@
 // one superstep's communication phase (see algorithms/sssp.hpp's
 // SsspPropagation and the bench/micro_channels ablation).
 
+// Parallel communication phase: like Propagation, the label-correcting
+// drain stays sequential (its order defines the next round's bytes) and
+// only the payload write-out fans over the comm pool; delivery keeps the
+// sequential fallback (received updates feed the BFS queue).
+
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <utility>
@@ -92,50 +98,14 @@ class PropagationW : public Channel {
   }
 
   void serialize() override {
-    // FIFO drain (see Propagation for why order matters): contributions
-    // move along local edges directly; remote contributions accumulate
-    // combined per receiver slot.
-    while (head_ < queue_.size()) {
-      const std::uint32_t u = queue_[head_++];
-      in_queue_[u] = 0;
-      const ValT uv = vals_[u];
-      for (const LocalEdge& e : local_adj_[u]) {
-        const ValT contribution = edge_fn_(uv, e.weight);
-        const ValT nv = combiner_(vals_[e.lidx], contribution);
-        if (nv != vals_[e.lidx]) {
-          vals_[e.lidx] = nv;
-          push(e.lidx);
-          worker_->activate_local(e.lidx);  // atomic frontier word-OR
-        }
-      }
-      for (const RemoteEdge& e : remote_adj_[u]) {
-        const ValT contribution = edge_fn_(uv, e.weight);
-        auto& acc = staged_remote_[static_cast<std::size_t>(e.owner)];
-        if (acc.has[e.lidx]) {
-          acc.vals[e.lidx] = combiner_(acc.vals[e.lidx], contribution);
-        } else {
-          acc.vals[e.lidx] = contribution;
-          acc.has[e.lidx] = 1;
-          acc.touched.push_back(e.lidx);
-        }
-      }
-    }
-    queue_.clear();
-    head_ = 0;
-    const int num_workers = w().num_workers();
-    for (int to = 0; to < num_workers; ++to) {
-      runtime::Buffer& out = w().outbox(to);
-      auto& acc = staged_remote_[static_cast<std::size_t>(to)];
-      out.write<std::uint32_t>(
-          static_cast<std::uint32_t>(acc.touched.size()));
-      for (const std::uint32_t lidx : acc.touched) {
-        out.write<std::uint32_t>(lidx);
-        out.write<ValT>(acc.vals[lidx]);
-        acc.vals[lidx] = combiner_.identity;
-        acc.has[lidx] = 0;
-      }
-      acc.touched.clear();
-    }
+    drain();
+    emit(/*parallel=*/false);
+  }
+
+  /// Sequential drain, parallel payload write-out (see header note).
+  void serialize_parallel() override {
+    drain();
+    emit(/*parallel=*/true);
   }
 
   void deserialize() override {
@@ -181,6 +151,86 @@ class PropagationW : public Channel {
     }
   }
 
+  /// FIFO drain (see Propagation for why order matters): contributions
+  /// move along local edges directly; remote contributions accumulate
+  /// combined per receiver slot.
+  void drain() {
+    while (head_ < queue_.size()) {
+      const std::uint32_t u = queue_[head_++];
+      in_queue_[u] = 0;
+      const ValT uv = vals_[u];
+      for (const LocalEdge& e : local_adj_[u]) {
+        const ValT contribution = edge_fn_(uv, e.weight);
+        const ValT nv = combiner_(vals_[e.lidx], contribution);
+        if (nv != vals_[e.lidx]) {
+          vals_[e.lidx] = nv;
+          push(e.lidx);
+          worker_->activate_local(e.lidx);  // atomic frontier word-OR
+        }
+      }
+      for (const RemoteEdge& e : remote_adj_[u]) {
+        const ValT contribution = edge_fn_(uv, e.weight);
+        auto& acc = staged_remote_[static_cast<std::size_t>(e.owner)];
+        if (acc.has[e.lidx]) {
+          acc.vals[e.lidx] = combiner_(acc.vals[e.lidx], contribution);
+        } else {
+          acc.vals[e.lidx] = contribution;
+          acc.has[e.lidx] = 1;
+          acc.touched.push_back(e.lidx);
+        }
+      }
+    }
+    queue_.clear();
+    head_ = 0;
+  }
+
+  /// Counts + pre-sized segments, filled over the comm pool by contiguous
+  /// destination-rank range when `parallel` (identical bytes either way).
+  void emit(bool parallel) {
+    const int num_workers = w().num_workers();
+    if (seg_.empty()) {
+      seg_.assign(static_cast<std::size_t>(num_workers), nullptr);
+    }
+    std::uint64_t total = 0;
+    for (int to = 0; to < num_workers; ++to) {
+      runtime::Buffer& out = w().outbox(to);
+      const auto& acc = staged_remote_[static_cast<std::size_t>(to)];
+      out.write<std::uint32_t>(
+          static_cast<std::uint32_t>(acc.touched.size()));
+      seg_[static_cast<std::size_t>(to)] =
+          out.extend(acc.touched.size() * kEntryBytes);
+      total += acc.touched.size();
+    }
+    if (!parallel) {
+      fill_ranks(0, num_workers);
+      return;
+    }
+    w().run_comm_partitioned(
+        total, static_cast<std::uint32_t>(num_workers), nullptr,
+        [this](std::uint32_t begin, std::uint32_t end, int) {
+          fill_ranks(static_cast<int>(begin), static_cast<int>(end));
+        });
+  }
+
+  void fill_ranks(int begin, int end) {
+    for (int to = begin; to < end; ++to) {
+      auto& acc = staged_remote_[static_cast<std::size_t>(to)];
+      std::byte* p = seg_[static_cast<std::size_t>(to)];
+      for (const std::uint32_t lidx : acc.touched) {
+        std::memcpy(p, &lidx, sizeof(std::uint32_t));
+        std::memcpy(p + sizeof(std::uint32_t), &acc.vals[lidx],
+                    sizeof(ValT));
+        p += kEntryBytes;
+        acc.vals[lidx] = combiner_.identity;
+        acc.has[lidx] = 0;
+      }
+      acc.touched.clear();
+    }
+  }
+
+  static constexpr std::size_t kEntryBytes =
+      sizeof(std::uint32_t) + sizeof(ValT);
+
   Worker<VertexT>* worker_;
   Combiner<ValT> combiner_;
   EdgeFn edge_fn_;
@@ -192,6 +242,10 @@ class PropagationW : public Channel {
   std::vector<std::vector<LocalEdge>> local_adj_;
   std::vector<std::vector<RemoteEdge>> remote_adj_;
   std::vector<StagedPeer> staged_remote_;
+
+  /// Payload segment base per destination rank (round-scoped scratch of
+  /// the parallel write-out).
+  std::vector<std::byte*> seg_;
 
   // Parallel compute staging for the shared seed queue (see
   // Channel::begin_compute).

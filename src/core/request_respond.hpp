@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -32,6 +33,12 @@ template <typename VertexT, typename RespT>
   requires runtime::TriviallySerializable<RespT>
 class RequestRespond : public Channel {
  public:
+  /// Produces the response for a requested vertex. CONTRACT: must only
+  /// READ vertex/worker state — with parallel delivery enabled
+  /// (PGCH_PARALLEL_DELIVERY=1) it is invoked concurrently from the comm
+  /// pool, so a respond function that mutates shared state (memoization
+  /// tables, counters) races. Keep such state out of respond functions,
+  /// or leave parallel delivery off for the run.
   using RespondFn = std::function<RespT(const VertexT&)>;
 
   RequestRespond(Worker<VertexT>* w, RespondFn f,
@@ -111,6 +118,24 @@ class RequestRespond : public Channel {
     }
   }
 
+  /// Parallel-comm delivery (DESIGN.md section 8). The request round's
+  /// hot half is producing the responses — one respond_fn_ call per
+  /// deduplicated request — so that fans over the comm pool by contiguous
+  /// request-index ranges per peer (each reply lands at its fixed
+  /// position; the wire order is unchanged). respond_fn_ is then invoked
+  /// concurrently and must only READ vertex state — true for the
+  /// attribute lookups the paradigm is for. The response round is bulk
+  /// copies plus the requester wake-up scan and stays sequential.
+  void deliver_parallel() override {
+    if (phase_ == Phase::kRequest) {
+      deserialize_requests_parallel();
+      phase_ = Phase::kRespond;
+    } else {
+      deserialize_responses();
+      phase_ = Phase::kRequest;
+    }
+  }
+
   bool again() override {
     // The response round always runs (possibly with empty payloads): phase
     // state must stay in lock-step across supersteps even when no vertex
@@ -169,6 +194,56 @@ class RequestRespond : public Channel {
     }
   }
 
+  /// Produce the responses with the comm pool: each slot fills contiguous
+  /// index ranges of every peer's (pre-sized) reply list from the raw
+  /// request-id spans. Reply order — and therefore the wire — is exactly
+  /// deserialize_requests()'s.
+  void deserialize_requests_parallel() {
+    const int num_workers = w().num_workers();
+    if (req_spans_.empty()) {
+      req_spans_.resize(static_cast<std::size_t>(num_workers));
+    }
+    std::uint64_t total = 0;
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto n = in.read<std::uint32_t>();
+      req_spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+      in.skip(std::size_t{n} * sizeof(std::uint32_t));
+      auto& replies = pending_replies_[static_cast<std::size_t>(from)];
+      replies.clear();
+      replies.resize(n);
+      total += n;
+    }
+    if (total < kParallelCommMinItems) {
+      produce_replies(0, 1);
+      return;
+    }
+    runtime::ComputePool& pool = w().comm_pool();
+    const int threads = w().comm_threads();
+    pool.run([&](int slot) {
+      if (slot >= threads) return;
+      produce_replies(slot, threads);
+    });
+  }
+
+  /// Fill reply index range [n*slot/threads, n*(slot+1)/threads) of every
+  /// peer's reply list.
+  void produce_replies(int slot, int threads) {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      const auto& [ptr, n] = req_spans_[static_cast<std::size_t>(from)];
+      auto& replies = pending_replies_[static_cast<std::size_t>(from)];
+      const auto [lo, hi] = detail::item_range(n, threads, slot);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        std::uint32_t lidx;
+        std::memcpy(&lidx, ptr + i * sizeof(std::uint32_t),
+                    sizeof(std::uint32_t));
+        replies[static_cast<std::size_t>(i)] =
+            respond_fn_(worker_->local_vertex(lidx));
+      }
+    }
+  }
+
   void serialize_responses() {
     const int num_workers = w().num_workers();
     for (int to = 0; to < num_workers; ++to) {
@@ -219,6 +294,9 @@ class RequestRespond : public Channel {
 
   // Responder side.
   std::vector<std::vector<RespT>> pending_replies_;  ///< per requester worker
+  /// Raw request-id span per requester worker (round-scoped scratch of
+  /// the parallel respond production).
+  std::vector<std::pair<const std::byte*, std::uint32_t>> req_spans_;
 
   // Parallel compute staging for the shared request list (see
   // Channel::begin_compute).

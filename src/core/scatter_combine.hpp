@@ -15,10 +15,21 @@
 //     afterwards senders transmit bare values and the receiver re-combines
 //     them positionally. This is the "removal of redundant transmission of
 //     vertices' identifiers" the paper credits for the message-size drop.
+//
+// Parallel communication phase (DESIGN.md section 8): the steady-state
+// value scan is embarrassingly parallel over destination runs — each
+// unique destination's value lands at a fixed offset of its worker's
+// payload, so serialize pre-sizes every outbox segment and the comm pool
+// folds disjoint run ranges (split on run boundaries by edge count)
+// directly into the segments. Per-run fold order is the edge order, the
+// same left fold as the sequential scan, so even float values are
+// bit-identical. Delivery range-partitions the receiver's vertex space
+// and applies positionally (peer order, then payload order).
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -43,7 +54,10 @@ class ScatterCombine : public Channel {
         slot_(w->num_local(), combiner_.identity),
         has_(w->num_local(), 0),
         recv_order_(static_cast<std::size_t>(w->num_workers())),
-        handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0) {}
+        handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0),
+        recv_touched_(1),
+        seg_(static_cast<std::size_t>(w->num_workers()), nullptr),
+        spans_(static_cast<std::size_t>(w->num_workers())) {}
 
   /// Register an outgoing edge of the current vertex. All add_edge calls
   /// must happen before the first set_message is delivered (the pattern is
@@ -85,55 +99,8 @@ class ScatterCombine : public Channel {
     return has_[w().current_local()] != 0;
   }
 
-  void serialize() override {
-    // Reset the receive slots the previous superstep filled.
-    for (const std::uint32_t lidx : touched_) {
-      slot_[lidx] = combiner_.identity;
-      has_[lidx] = 0;
-    }
-    touched_.clear();
-
-    const int num_workers = w().num_workers();
-    if (!dirty_.load(std::memory_order_relaxed)) {
-      for (int to = 0; to < num_workers; ++to) {
-        w().outbox(to).write<std::uint8_t>(kTagIdle);
-      }
-      return;
-    }
-    dirty_.store(false, std::memory_order_relaxed);
-    if (!finalized_) finalize();
-
-    // One linear scan over the pre-sorted edge array: runs of equal dst
-    // fold their sources' values; worker boundaries switch outboxes.
-    for (int to = 0; to < num_workers; ++to) {
-      runtime::Buffer& out = w().outbox(to);
-      const bool first_time = handshake_sent_[static_cast<std::size_t>(to)] == 0;
-      out.write<std::uint8_t>(first_time ? kTagHandshake : kTagValues);
-      const auto [begin, end] = owner_range_[static_cast<std::size_t>(to)];
-      out.write<std::uint32_t>(unique_dsts_[static_cast<std::size_t>(to)]);
-      if (first_time) {
-        // Ship the destination order once.
-        std::size_t i = begin;
-        while (i < end) {
-          const KeyT dst = edges_[i].dst;
-          out.write<std::uint32_t>(w().local_of(dst));
-          while (i < end && edges_[i].dst == dst) ++i;
-        }
-        handshake_sent_[static_cast<std::size_t>(to)] = 1;
-      }
-      std::size_t i = begin;
-      while (i < end) {
-        const KeyT dst = edges_[i].dst;
-        ValT acc = vals_[edges_[i].src];
-        ++i;
-        while (i < end && edges_[i].dst == dst) {
-          acc = combiner_(acc, vals_[edges_[i].src]);
-          ++i;
-        }
-        out.write<ValT>(acc);
-      }
-    }
-  }
+  void serialize() override { serialize_impl(/*parallel=*/false); }
+  void serialize_parallel() override { serialize_impl(/*parallel=*/true); }
 
   void deserialize() override {
     const int num_workers = w().num_workers();
@@ -151,18 +118,42 @@ class ScatterCombine : public Channel {
       }
       // Values arrive in the agreed order; combine positionally.
       for (std::uint32_t i = 0; i < n; ++i) {
-        const auto val = in.read<ValT>();
-        const std::uint32_t lidx = order[i];
-        if (has_[lidx]) {
-          slot_[lidx] = combiner_(slot_[lidx], val);
-        } else {
-          slot_[lidx] = val;
-          has_[lidx] = 1;
-          touched_.push_back(lidx);
-        }
-        worker_->activate_local(lidx);  // atomic frontier word-OR
+        apply(order[i], in.read<ValT>(), 0);
       }
     }
+  }
+
+  /// Range-partitioned positional delivery: the handshake order lists are
+  /// installed sequentially (first round only), then every pool slot
+  /// scans each peer's bare value list and folds the positions whose
+  /// destination falls in its contiguous local-vertex range.
+  void deliver_parallel() override {
+    const int num_workers = w().num_workers();
+    std::uint64_t total = 0;
+    for (int from = 0; from < num_workers; ++from) {
+      runtime::Buffer& in = w().inbox(from);
+      const auto tag = in.read<std::uint8_t>();
+      if (tag == kTagIdle) {
+        spans_[static_cast<std::size_t>(from)] = {nullptr, 0};
+        continue;
+      }
+      const auto n = in.read<std::uint32_t>();
+      auto& order = recv_order_[static_cast<std::size_t>(from)];
+      if (tag == kTagHandshake) {
+        order.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          order[i] = in.read<std::uint32_t>();
+        }
+      }
+      spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+      in.skip(std::size_t{n} * sizeof(ValT));
+      total += n;
+    }
+    w().run_comm_partitioned(
+        total, worker_->num_local(), &recv_touched_,
+        [this](std::uint32_t lo, std::uint32_t hi, int slot) {
+          apply_spans(lo, hi, slot);
+        });
   }
 
  private:
@@ -177,7 +168,10 @@ class ScatterCombine : public Channel {
 
   /// Sort edges by (owner(dst), dst) and remember, per worker, the edge
   /// range and the number of unique destinations — the whole point of the
-  /// channel is that this happens once, not every superstep.
+  /// channel is that this happens once, not every superstep. Also records
+  /// the run boundaries (one run per unique destination) and the global
+  /// unique-destination prefix per worker, the index structures the
+  /// parallel value scan splits on.
   void finalize() {
     const int num_workers = w().num_workers();
     std::sort(edges_.begin(), edges_.end(),
@@ -189,19 +183,140 @@ class ScatterCombine : public Channel {
               });
     owner_range_.assign(static_cast<std::size_t>(num_workers), {0, 0});
     unique_dsts_.assign(static_cast<std::size_t>(num_workers), 0);
+    uniq_offset_.assign(static_cast<std::size_t>(num_workers) + 1, 0);
+    run_start_.clear();
     std::size_t i = 0;
     for (int to = 0; to < num_workers; ++to) {
       const std::size_t begin = i;
       std::uint32_t uniq = 0;
       while (i < edges_.size() && w().owner_of(edges_[i].dst) == to) {
         const KeyT dst = edges_[i].dst;
+        run_start_.push_back(i);
         ++uniq;
         while (i < edges_.size() && edges_[i].dst == dst) ++i;
       }
       owner_range_[static_cast<std::size_t>(to)] = {begin, i};
       unique_dsts_[static_cast<std::size_t>(to)] = uniq;
+      uniq_offset_[static_cast<std::size_t>(to) + 1] =
+          uniq_offset_[static_cast<std::size_t>(to)] + uniq;
     }
+    run_start_.push_back(edges_.size());
     finalized_ = true;
+  }
+
+  void serialize_impl(bool parallel) {
+    // Reset the receive slots the previous superstep filled.
+    for (auto& touched : recv_touched_) {
+      for (const std::uint32_t lidx : touched) {
+        slot_[lidx] = combiner_.identity;
+        has_[lidx] = 0;
+      }
+      touched.clear();
+    }
+
+    const int num_workers = w().num_workers();
+    if (!dirty_.load(std::memory_order_relaxed)) {
+      for (int to = 0; to < num_workers; ++to) {
+        w().outbox(to).write<std::uint8_t>(kTagIdle);
+      }
+      return;
+    }
+    dirty_.store(false, std::memory_order_relaxed);
+    if (!finalized_) finalize();
+
+    // Headers, one-time handshakes, and payload segment reservation. The
+    // payload of worker `to` is exactly unique_dsts_[to] values, so the
+    // segment can be pre-sized and filled out of order.
+    for (int to = 0; to < num_workers; ++to) {
+      runtime::Buffer& out = w().outbox(to);
+      const bool first_time =
+          handshake_sent_[static_cast<std::size_t>(to)] == 0;
+      out.write<std::uint8_t>(first_time ? kTagHandshake : kTagValues);
+      const auto [begin, end] = owner_range_[static_cast<std::size_t>(to)];
+      out.write<std::uint32_t>(unique_dsts_[static_cast<std::size_t>(to)]);
+      if (first_time) {
+        // Ship the destination order once.
+        std::size_t i = begin;
+        while (i < end) {
+          const KeyT dst = edges_[i].dst;
+          out.write<std::uint32_t>(w().local_of(dst));
+          while (i < end && edges_[i].dst == dst) ++i;
+        }
+        handshake_sent_[static_cast<std::size_t>(to)] = 1;
+      }
+      seg_[static_cast<std::size_t>(to)] = out.extend(
+          std::size_t{unique_dsts_[static_cast<std::size_t>(to)]} *
+          sizeof(ValT));
+    }
+
+    const std::size_t num_runs = run_start_.size() - 1;
+    if (!parallel || edges_.size() < kParallelCommMinItems) {
+      fill_runs(0, num_runs);
+      return;
+    }
+    runtime::ComputePool& pool = w().comm_pool();
+    const int threads = w().comm_threads();
+    pool.run([&](int slot) {
+      if (slot >= threads) return;
+      // Split the run space on edge-count targets (runs vary wildly in
+      // size on skewed graphs), aligned down to run boundaries.
+      const auto [e_lo, e_hi] =
+          detail::item_range(edges_.size(), threads, slot);
+      const std::size_t r_lo = static_cast<std::size_t>(
+          std::lower_bound(run_start_.begin(), run_start_.end(), e_lo) -
+          run_start_.begin());
+      const std::size_t r_hi = static_cast<std::size_t>(
+          std::lower_bound(run_start_.begin(), run_start_.end(), e_hi) -
+          run_start_.begin());
+      fill_runs(std::min(r_lo, num_runs), std::min(r_hi, num_runs));
+    });
+  }
+
+  /// Fold unique-destination runs [r_begin, r_end) into their workers'
+  /// payload segments. Run u of worker `to` lands at position
+  /// u - uniq_offset_[to]; the fold over a run is the left fold in edge
+  /// order — byte-for-byte the sequential scan's value.
+  void fill_runs(std::size_t r_begin, std::size_t r_end) {
+    if (r_begin >= r_end) return;
+    auto rank = static_cast<std::size_t>(
+        std::upper_bound(uniq_offset_.begin(), uniq_offset_.end(), r_begin) -
+        uniq_offset_.begin() - 1);
+    for (std::size_t u = r_begin; u < r_end; ++u) {
+      while (u >= uniq_offset_[rank + 1]) ++rank;
+      std::size_t i = run_start_[u];
+      const std::size_t i_end = run_start_[u + 1];
+      ValT acc = vals_[edges_[i].src];
+      for (++i; i < i_end; ++i) acc = combiner_(acc, vals_[edges_[i].src]);
+      std::memcpy(seg_[rank] + (u - uniq_offset_[rank]) * sizeof(ValT),
+                  &acc, sizeof(ValT));
+    }
+  }
+
+  void apply(std::uint32_t lidx, const ValT& val, int delivery_slot) {
+    if (has_[lidx]) {
+      slot_[lidx] = combiner_(slot_[lidx], val);
+    } else {
+      slot_[lidx] = val;
+      has_[lidx] = 1;
+      recv_touched_[static_cast<std::size_t>(delivery_slot)].push_back(lidx);
+    }
+    worker_->activate_local(lidx);  // atomic frontier word-OR
+  }
+
+  void apply_spans(std::uint32_t lo, std::uint32_t hi, int delivery_slot) {
+    const int num_workers = w().num_workers();
+    for (int from = 0; from < num_workers; ++from) {
+      const auto& [ptr, n] = spans_[static_cast<std::size_t>(from)];
+      const auto& order = recv_order_[static_cast<std::size_t>(from)];
+      const std::byte* p = ptr;
+      for (std::uint32_t i = 0; i < n; ++i, p += sizeof(ValT)) {
+        const std::uint32_t lidx = order[i];
+        if (lidx < lo || lidx >= hi) continue;
+        ValT val;
+        std::memcpy(&val, p, sizeof(ValT));
+        apply(lidx, val, delivery_slot);
+      }
+    }
   }
 
   Worker<VertexT>* worker_;
@@ -211,6 +326,11 @@ class ScatterCombine : public Channel {
   std::vector<EdgeRec> edges_;
   std::vector<std::pair<std::size_t, std::size_t>> owner_range_;
   std::vector<std::uint32_t> unique_dsts_;
+  /// Edge index of each unique destination's first edge, in the global
+  /// sorted order, plus a trailing edges_.size() — size U + 1.
+  std::vector<std::size_t> run_start_;
+  /// Global unique-destination index range per worker — size W + 1.
+  std::vector<std::size_t> uniq_offset_;
   std::vector<ValT> vals_;
   std::atomic<bool> dirty_{false};
   bool finalized_ = false;
@@ -222,9 +342,13 @@ class ScatterCombine : public Channel {
   // Receiver side.
   std::vector<ValT> slot_;
   std::vector<std::uint8_t> has_;
-  std::vector<std::uint32_t> touched_;
-  std::vector<std::vector<std::uint32_t>> recv_order_;  ///< per sender
+  std::vector<std::vector<std::uint32_t>> recv_touched_;  ///< per slot
+  std::vector<std::vector<std::uint32_t>> recv_order_;    ///< per sender
   std::vector<std::uint8_t> handshake_sent_;
+
+  // Round-scoped scratch of the parallel paths.
+  std::vector<std::byte*> seg_;  ///< payload segment base per worker
+  std::vector<std::pair<const std::byte*, std::uint32_t>> spans_;
 };
 
 }  // namespace pregel::core

@@ -4,6 +4,7 @@
 // paper's Fig. 1 uses.
 
 #include <functional>
+#include <type_traits>
 #include <utility>
 
 #include "graph/graph.hpp"
@@ -17,18 +18,22 @@ using KeyT = VertexId;  // the paper's name for vertex identifiers in APIs
 /// Channels use combiners to merge message values for the same receiver
 /// (sender side and receiver side), aggregators use them to fold global
 /// contributions.
+///
+/// `exact` marks combiners whose fold may be regrouped into contiguous
+/// segments without changing a single bit of the result — selections
+/// (min/max/or) and integer sums. Combiner channels use it to combine at
+/// stage time (one partial per compute slot, merged in slot order at
+/// serialize); inexact folds (floating-point sums) keep their raw message
+/// logs so the merged fold replays the sequential order message by
+/// message. Leave it false when unsure: the only cost is staging memory.
 template <typename T>
 struct Combiner {
   std::function<T(const T&, const T&)> fn;
   T identity{};
+  bool exact = false;
 
   T operator()(const T& a, const T& b) const { return fn(a, b); }
 };
-
-template <typename T, typename Fn>
-Combiner<T> make_combiner(Fn&& f, T identity) {
-  return Combiner<T>{std::forward<Fn>(f), std::move(identity)};
-}
 
 // The stock combining functions the paper's examples use.
 inline constexpr auto c_sum = [](const auto& a, const auto& b) {
@@ -43,5 +48,28 @@ inline constexpr auto c_max = [](const auto& a, const auto& b) {
 inline constexpr auto c_or = [](const auto& a, const auto& b) {
   return a || b;
 };
+
+template <typename T, typename Fn>
+Combiner<T> make_combiner(Fn&& f, T identity) {
+  // Recognize the stock functions whose folds regroup exactly: selections
+  // always (they return one of their inputs), sums only over integers
+  // (IEEE float addition is not associative). Custom functions default to
+  // inexact; pass `exact` explicitly when theirs regroups.
+  using F = std::decay_t<Fn>;
+  constexpr bool selection =
+      std::is_same_v<F, std::decay_t<decltype(c_min)>> ||
+      std::is_same_v<F, std::decay_t<decltype(c_max)>> ||
+      std::is_same_v<F, std::decay_t<decltype(c_or)>>;
+  constexpr bool integral_sum =
+      std::is_same_v<F, std::decay_t<decltype(c_sum)>> &&
+      std::is_integral_v<T>;
+  return Combiner<T>{std::forward<Fn>(f), std::move(identity),
+                     selection || integral_sum};
+}
+
+template <typename T, typename Fn>
+Combiner<T> make_combiner(Fn&& f, T identity, bool exact) {
+  return Combiner<T>{std::forward<Fn>(f), std::move(identity), exact};
+}
 
 }  // namespace pregel::core

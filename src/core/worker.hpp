@@ -269,9 +269,7 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
       return;
     }
 
-    if (!pool_ || pool_->slots() != threads) {
-      pool_ = std::make_unique<runtime::ComputePool>(threads);
-    }
+    runtime::ComputePool& pool = this->pool(threads);
     for (Channel* c : channels_) c->begin_compute(threads);
     if (sparse) {
       // Materialize the frontier (ascending), weight it by degree, and
@@ -286,7 +284,8 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
             frontier_weight_[i] +
             env_.dg->out(env_.rank, frontier_[i]).size() + 1;
       }
-      pool_->run([&](int slot) {
+      pool.run([&](int slot) {
+        if (slot >= threads) return;  // pool may outsize the compute phase
         detail::t_compute_slot = slot;
         const std::uint32_t begin =
             chunk_begin(frontier_weight_, threads, slot);
@@ -298,7 +297,8 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
         detail::t_compute_slot = 0;
       });
     } else {
-      pool_->run([&](int slot) {
+      pool.run([&](int slot) {
+        if (slot >= threads) return;  // pool may outsize the compute phase
         detail::t_compute_slot = slot;
         const std::uint32_t begin = chunk_begin(degree_prefix_, threads, slot);
         const std::uint32_t end =
@@ -323,7 +323,14 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
   /// so. Every round ends with one collective buffer exchange. Each active
   /// channel's payloads ride in its own frame lane; the exchange accounts
   /// the payload bytes per channel and validates the reads.
+  ///
+  /// With comm_threads() > 1 channels serialize through their parallel
+  /// protocol (sharded staging merged over the pool); with parallel
+  /// delivery enabled they also deliver range-partitioned. Both paths are
+  /// byte- and result-identical to the sequential one (DESIGN.md §8).
   void communicate() {
+    const bool par_serialize = comm_threads() > 1;
+    const bool par_deliver = parallel_delivery();
     std::uint64_t local_mask = 0;
     for (std::size_t i = 0; i < channels_.size(); ++i) {
       local_mask |= (std::uint64_t{1} << i);
@@ -333,33 +340,46 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
           env_.transport->allreduce_or(env_.rank, local_mask);
       if (mask == 0) break;
 
+      const auto t0 = Clock::now();
       for (std::size_t i = 0; i < channels_.size(); ++i) {
         if ((mask >> i) & 1u) {
           env_.exchange->begin_frames(env_.rank, static_cast<int>(i));
-          channels_[i]->serialize();
+          if (par_serialize) {
+            channels_[i]->serialize_parallel();
+          } else {
+            channels_[i]->serialize();
+          }
           stats_.bytes_by_channel[channels_[i]->name()] +=
               env_.exchange->end_frames(env_.rank, static_cast<int>(i));
         }
       }
+      const auto t1 = Clock::now();
       env_.exchange->exchange(env_.rank);
       ++stats_.comm_rounds;
+      const auto t2 = Clock::now();
 
       local_mask = 0;
       for (std::size_t i = 0; i < channels_.size(); ++i) {
         if ((mask >> i) & 1u) {
           env_.exchange->open_frames(env_.rank, static_cast<int>(i),
                                      channels_[i]->name());
-          channels_[i]->deserialize();
+          if (par_deliver) {
+            channels_[i]->deliver_parallel();
+          } else {
+            channels_[i]->deserialize();
+          }
           env_.exchange->close_frames(env_.rank, static_cast<int>(i),
                                       channels_[i]->name());
           if (channels_[i]->again()) local_mask |= (std::uint64_t{1} << i);
         }
       }
+      stats_.serialize_seconds += seconds_between(t0, t1);
+      stats_.exchange_seconds += seconds_between(t1, t2);
+      stats_.deliver_seconds += seconds_between(t2, Clock::now());
     }
   }
 
   int compute_threads_ = 1;
-  std::unique_ptr<runtime::ComputePool> pool_;
 
   // Degree-aware chunking state (parallel compute phase only).
   std::vector<std::uint64_t> degree_prefix_;    ///< all-vertex weights

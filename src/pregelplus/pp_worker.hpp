@@ -22,16 +22,26 @@
 //     format, ~33% larger than the channel engine's positional replies;
 //   * ghost mode uses hash-table mirror lookup on the receiver for every
 //     incoming broadcast — the computational overhead the paper measures.
+//
+// Parallel communication phase (DESIGN.md section 8): with parallel
+// delivery enabled the plain message batch is applied range-partitioned
+// over the local vertex space (per-vertex arrival order — peer order,
+// then in-payload order — is preserved, so combined floats stay bitwise
+// identical). Ghost mode falls back to the sequential path: its mirror
+// scatter interleaves with the plain wires per peer, an order a
+// range-partition over two passes would not preserve.
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/engine_base.hpp"
@@ -258,9 +268,12 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
   // broadcasts + aggregator partials.
   void message_round() {
     // Retire last superstep's delivered messages.
-    for (const std::uint32_t lidx : touched_) incoming_[lidx].clear();
-    touched_.clear();
+    for (auto& touched : recv_touched_) {
+      for (const std::uint32_t lidx : touched) incoming_[lidx].clear();
+      touched.clear();
+    }
 
+    const auto s0 = Clock::now();
     const int workers = num_workers();
     if (combiner_) {
       // Sender-side combining: bucket the map by owner.
@@ -302,15 +315,31 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
     agg_partial_.fill(0);
     dagg_partial_ = 0.0;
 
+    const auto s1 = Clock::now();
     env_.exchange->exchange(env_.rank);
+    const auto s2 = Clock::now();
 
     agg_result_.fill(0);
     dagg_result_ = 0.0;
+    // Range-partitioned parallel delivery of the plain message batches
+    // (DESIGN.md section 8). Ghost mode keeps the sequential path — its
+    // per-peer wire/ghost interleaving defines the per-vertex fold order.
+    const bool par_deliver = parallel_delivery() && !ghost_;
+    if (wire_spans_.empty()) {
+      wire_spans_.resize(static_cast<std::size_t>(workers));
+    }
+    std::uint64_t total_wires = 0;
     for (int from = 0; from < workers; ++from) {
       auto& in = env_.exchange->inbox(env_.rank, from);
       const auto n = in.read<std::uint32_t>();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        deliver(in.read<Wire>());
+      if (par_deliver) {
+        wire_spans_[static_cast<std::size_t>(from)] = {in.read_ptr(), n};
+        in.skip(std::size_t{n} * sizeof(Wire));
+        total_wires += n;
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          deliver(in.read<Wire>(), 0);
+        }
       }
       const auto nreg = in.read<std::uint32_t>();
       for (std::uint32_t i = 0; i < nreg; ++i) {
@@ -326,7 +355,7 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
           throw std::logic_error("PPWorker: ghost value before registration");
         }
         for (const std::uint32_t lidx : it->second) {
-          deliver(Wire{lidx, gw.value});
+          deliver(Wire{lidx, gw.value}, 0);
         }
       }
       for (int s = 0; s < kNumAggSlots; ++s) {
@@ -334,21 +363,49 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
       }
       dagg_result_ += in.read<double>();
     }
+    if (par_deliver) apply_wire_spans(total_wires);
+    stats_.serialize_seconds += seconds_between(s0, s1);
+    stats_.exchange_seconds += seconds_between(s1, s2);
+    stats_.deliver_seconds += seconds_between(s2, Clock::now());
   }
 
-  void deliver(const Wire& wire) {
+  void deliver(const Wire& wire, int delivery_slot) {
     auto& box = incoming_[wire.lidx];
     if (combiner_ && !box.empty()) {
       box[0] = (*combiner_)(box[0], wire.value);
     } else {
-      if (box.empty()) touched_.push_back(wire.lidx);
+      if (box.empty()) {
+        recv_touched_[static_cast<std::size_t>(delivery_slot)].push_back(
+            wire.lidx);
+      }
       box.push_back(wire.value);
     }
     this->active_.set(wire.lidx);  // message arrival re-activates
   }
 
+  /// Apply the recorded per-peer wire spans, range-partitioned over the
+  /// local vertex space: every pool slot scans the spans in peer order
+  /// and delivers only its own contiguous lidx range, so per-vertex
+  /// arrival order matches the sequential loop.
+  void apply_wire_spans(std::uint64_t total_wires) {
+    run_comm_partitioned(
+        total_wires, num_local(), &recv_touched_,
+        [this](std::uint32_t lo, std::uint32_t hi, int slot) {
+          for (const auto& [ptr, n] : wire_spans_) {
+            const std::byte* p = ptr;
+            for (std::uint32_t i = 0; i < n; ++i, p += sizeof(Wire)) {
+              Wire wire;
+              std::memcpy(&wire, p, sizeof(Wire));
+              if (wire.lidx < lo || wire.lidx >= hi) continue;
+              deliver(wire, slot);
+            }
+          }
+        });
+  }
+
   // Round 2 (reqresp): deduplicated request id lists.
   void request_round() {
+    const auto s0 = Clock::now();
     responses_.clear();
     std::sort(req_staged_.begin(), req_staged_.end());
     req_staged_.erase(std::unique(req_staged_.begin(), req_staged_.end()),
@@ -370,7 +427,9 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
     }
     req_staged_.clear();
 
+    const auto s1 = Clock::now();
     env_.exchange->exchange(env_.rank);
+    const auto s2 = Clock::now();
 
     for (int from = 0; from < workers; ++from) {
       auto& in = env_.exchange->inbox(env_.rank, from);
@@ -384,10 +443,14 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
         replies.push_back(RespWire{v.id(), respond(v)});
       }
     }
+    stats_.serialize_seconds += seconds_between(s0, s1);
+    stats_.exchange_seconds += seconds_between(s1, s2);
+    stats_.deliver_seconds += seconds_between(s2, Clock::now());
   }
 
   // Round 3 (reqresp): responses as (id, value) pairs — Pregel+'s format.
   void response_round() {
+    const auto s0 = Clock::now();
     const int workers = num_workers();
     for (int to = 0; to < workers; ++to) {
       auto& out = env_.exchange->outbox(env_.rank, to);
@@ -399,7 +462,9 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
       }
     }
 
+    const auto s1 = Clock::now();
     env_.exchange->exchange(env_.rank);
+    const auto s2 = Clock::now();
 
     for (int from = 0; from < workers; ++from) {
       auto& in = env_.exchange->inbox(env_.rank, from);
@@ -409,6 +474,9 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
         responses_[rw.id] = rw.value;  // hash insert per response
       }
     }
+    stats_.serialize_seconds += seconds_between(s0, s1);
+    stats_.exchange_seconds += seconds_between(s1, s2);
+    stats_.deliver_seconds += seconds_between(s2, Clock::now());
     // Note: unlike the channel engine, reqresp responses do NOT reactivate
     // vertices (Pregel+ semantics) — programs must keep requesters active
     // until they have consumed their answers.
@@ -430,7 +498,9 @@ class PPWorker : public core::EngineBase, public core::VertexColumns<VertexT> {
   std::unordered_map<KeyT, MsgT> combine_staged_;
   std::vector<std::vector<Wire>> staged_;
   std::vector<std::vector<MsgT>> incoming_;
-  std::vector<std::uint32_t> touched_;
+  std::vector<std::vector<std::uint32_t>> recv_touched_{1};  ///< per slot
+  /// Raw wire span per peer (round-scoped parallel-delivery scratch).
+  std::vector<std::pair<const std::byte*, std::uint32_t>> wire_spans_;
 
   // Ghost mode state.
   bool ghost_ = false;

@@ -151,6 +151,21 @@ class Buffer {
     read_pos_ += n;
   }
 
+  /// Pointer to the next unread byte. Parallel delivery records a payload
+  /// span with this + skip(), then parses it from worker threads with
+  /// their own local cursors (the Buffer itself is not touched again
+  /// until the span is fully consumed).
+  [[nodiscard]] const std::byte* read_ptr() const noexcept {
+    return data_.data() + read_pos_;
+  }
+
+  /// Advance the read cursor over `n` bytes without copying them out
+  /// (bounds- and frame-checked like a read).
+  void skip(std::size_t n) {
+    check_readable(n);
+    read_pos_ += n;
+  }
+
   /// Length-prefixed vector of trivially-copyable elements.
   template <TriviallySerializable T>
   void write_vector(const std::vector<T>& v) {

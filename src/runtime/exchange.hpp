@@ -100,6 +100,10 @@ class Exchange {
   /// channel's serialize() then appends its payloads; end_frames() patches
   /// the lengths in. The self outbox gets no header — its frame is logged
   /// lane-locally instead (rank-local bytes never cross the wire).
+  ///
+  /// Capacity hint: each outbox is pre-reserved to fit the payload this
+  /// channel shipped to the same peer in the previous round (recorded by
+  /// end_frames), so steady-state supersteps append without realloc churn.
   void begin_frames(int from, int channel_id) {
     Lane& lane = lanes_[static_cast<std::size_t>(from)];
     if (lane.open_write_channel >= 0) {
@@ -116,6 +120,9 @@ class Exchange {
       if (to != from) {
         out.write(ChannelFrame{static_cast<std::uint32_t>(channel_id), 0});
       }
+      const std::size_t hint =
+          lane.payload_hint[hint_index(channel_id, to, workers)];
+      if (hint != 0) out.reserve(out.size() + hint);
     }
     lane.open_write_channel = channel_id;
   }
@@ -135,19 +142,20 @@ class Exchange {
       Buffer& out = outbox(from, to);
       const std::size_t header_at =
           lane.write_header_at[static_cast<std::size_t>(to)];
+      std::size_t payload;
       if (to == from) {
-        const std::size_t payload = out.size() - header_at;
+        payload = out.size() - header_at;
         lane.self_frames.push_back(
             ChannelFrame{static_cast<std::uint32_t>(channel_id),
                          static_cast<std::uint32_t>(payload)});
-        payload_total += payload;
       } else {
-        const std::size_t payload =
-            out.size() - header_at - sizeof(ChannelFrame);
+        payload = out.size() - header_at - sizeof(ChannelFrame);
         out.patch_u32(header_at + sizeof(std::uint32_t),
                       static_cast<std::uint32_t>(payload));
-        payload_total += payload;
       }
+      payload_total += payload;
+      // Remember the payload size as next round's pre-reserve hint.
+      lane.payload_hint[hint_index(channel_id, to, workers)] = payload;
     }
     lane.channel_payload_bytes[static_cast<std::size_t>(channel_id)] +=
         payload_total;
@@ -305,6 +313,10 @@ class Exchange {
     std::vector<std::size_t> write_header_at;  ///< per peer, open frame
     std::vector<std::size_t> read_frame_end;   ///< per peer, open frame
     std::vector<std::uint64_t> channel_payload_bytes;  ///< cumulative
+    /// Previous-round payload size per (channel, peer): begin_frames
+    /// pre-reserves the outbox with it (steady-state supersteps ship
+    /// similar volumes, so this eliminates realloc churn mid-serialize).
+    std::vector<std::size_t> payload_hint;
     /// Rank-local frame log: headers the self outbox would have carried.
     /// end_frames() appends, open_frames() validates and consumes.
     std::vector<ChannelFrame> self_frames;
@@ -323,7 +335,15 @@ class Exchange {
       lane.write_header_at.assign(workers, 0);
       lane.read_frame_end.assign(workers, 0);
       lane.channel_payload_bytes.assign(kMaxChannels, 0);
+      lane.payload_hint.assign(kMaxChannels * workers, 0);
     }
+  }
+
+  [[nodiscard]] static std::size_t hint_index(int channel_id, int to,
+                                              int workers) {
+    return static_cast<std::size_t>(channel_id) *
+               static_cast<std::size_t>(workers) +
+           static_cast<std::size_t>(to);
   }
 
   static void check_channel_id(int channel_id) {

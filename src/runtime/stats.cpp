@@ -26,6 +26,12 @@ void RunStats::merge_from(const RunStats& other) {
   seconds = std::max(seconds, other.seconds);
   compute_seconds = std::max(compute_seconds, other.compute_seconds);
   comm_seconds = std::max(comm_seconds, other.comm_seconds);
+  // The communication-phase breakdown is per-rank wall time like the
+  // split above: ranks overlap, so the team figure for each sub-phase is
+  // the slowest rank's, not a cross-rank sum that would exceed seconds.
+  serialize_seconds = std::max(serialize_seconds, other.serialize_seconds);
+  exchange_seconds = std::max(exchange_seconds, other.exchange_seconds);
+  deliver_seconds = std::max(deliver_seconds, other.deliver_seconds);
   // Supersteps and communication rounds are collective — the quiescence
   // vote and the round loop keep every rank in lock-step, so all ranks
   // report the same number. max() keeps the merge well-defined even if an
@@ -55,6 +61,9 @@ void RunStats::serialize(Buffer& out) const {
   out.write(seconds);
   out.write(compute_seconds);
   out.write(comm_seconds);
+  out.write(serialize_seconds);
+  out.write(exchange_seconds);
+  out.write(deliver_seconds);
   out.write<std::int32_t>(supersteps);
   out.write(comm_rounds);
   out.write(message_bytes);
@@ -76,6 +85,9 @@ RunStats RunStats::deserialize(Buffer& in) {
   s.seconds = in.read<double>();
   s.compute_seconds = in.read<double>();
   s.comm_seconds = in.read<double>();
+  s.serialize_seconds = in.read<double>();
+  s.exchange_seconds = in.read<double>();
+  s.deliver_seconds = in.read<double>();
   s.supersteps = in.read<std::int32_t>();
   s.comm_rounds = in.read<std::uint64_t>();
   s.message_bytes = in.read<std::uint64_t>();
@@ -105,7 +117,13 @@ std::string RunStats::detailed() const {
   os << summary() << "\n";
   if (compute_seconds != 0.0 || comm_seconds != 0.0) {
     os << "  compute " << std::fixed << std::setprecision(3)
-       << compute_seconds << " s / communicate " << comm_seconds << " s\n";
+       << compute_seconds << " s / communicate " << comm_seconds << " s";
+    if (serialize_seconds != 0.0 || exchange_seconds != 0.0 ||
+        deliver_seconds != 0.0) {
+      os << " (serialize " << serialize_seconds << " s, exchange "
+         << exchange_seconds << " s, deliver " << deliver_seconds << " s)";
+    }
+    os << "\n";
   }
   for (const auto& [name, bytes] : bytes_by_channel) {
     os << "  channel " << name << ": " << std::fixed << std::setprecision(2)

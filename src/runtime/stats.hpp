@@ -20,6 +20,13 @@ struct RunStats {
   /// communication loop takes. Engines accumulate these per superstep.
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
+  /// Breakdown of the communication phase: channel serialize (outbox
+  /// staging + writes), the collective buffer exchange, and channel
+  /// deserialize (delivery). comm_seconds additionally covers the
+  /// quiescence/activity votes, so it is >= the sum of these three.
+  double serialize_seconds = 0.0;
+  double exchange_seconds = 0.0;
+  double deliver_seconds = 0.0;
   int supersteps = 0;            ///< number of (global) supersteps executed
   std::uint64_t comm_rounds = 0; ///< buffer-exchange rounds (>= supersteps)
   /// Bytes this rank shipped through the exchange (payload + frame

@@ -402,6 +402,9 @@ TEST(RunStatsWire, SerializeDeserializeRoundTrips) {
   s.seconds = 1.25;
   s.compute_seconds = 0.75;
   s.comm_seconds = 0.5;
+  s.serialize_seconds = 0.2;
+  s.exchange_seconds = 0.15;
+  s.deliver_seconds = 0.1;
   s.supersteps = 7;
   s.comm_rounds = 12;
   s.message_bytes = 123456;
@@ -420,6 +423,9 @@ TEST(RunStatsWire, SerializeDeserializeRoundTrips) {
   EXPECT_EQ(back.seconds, s.seconds);
   EXPECT_EQ(back.compute_seconds, s.compute_seconds);
   EXPECT_EQ(back.comm_seconds, s.comm_seconds);
+  EXPECT_EQ(back.serialize_seconds, s.serialize_seconds);
+  EXPECT_EQ(back.exchange_seconds, s.exchange_seconds);
+  EXPECT_EQ(back.deliver_seconds, s.deliver_seconds);
   EXPECT_EQ(back.supersteps, s.supersteps);
   EXPECT_EQ(back.comm_rounds, s.comm_rounds);
   EXPECT_EQ(back.message_bytes, s.message_bytes);
