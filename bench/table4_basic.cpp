@@ -69,6 +69,20 @@ void PR_Wikipedia_Channel(benchmark::State& s) {
   bench::run_case<algo::PageRankCombined>(s, __func__, wikipedia());
 }
 
+// Direction-optimized rows (DESIGN.md section 9): PageRank's frontier is
+// all-dense every superstep, so adaptive mode runs the whole job in pull
+// direction — zero channel payload for rank-local edges, one compact
+// boundary exchange for the rest.
+void adaptive(algo::PageRankCombined& w) {
+  w.set_direction_mode(core::DirectionMode::kAdaptive);
+}
+void PR_WebUK_ChannelAdaptive(benchmark::State& s) {
+  bench::run_case<algo::PageRankCombined>(s, __func__, webuk(), adaptive);
+}
+void PR_Wikipedia_ChannelAdaptive(benchmark::State& s) {
+  bench::run_case<algo::PageRankCombined>(s, __func__, wikipedia(), adaptive);
+}
+
 // --------------------------------------------------------------- WCC ------
 void WCC_Wikipedia_Pregel(benchmark::State& s) {
   bench::run_case<algo::PPWcc>(s, __func__, wiki_sym_hash());
@@ -146,6 +160,8 @@ PGCH_BENCH(PR_WebUK_Pregel);
 PGCH_BENCH(PR_WebUK_Channel);
 PGCH_BENCH(PR_Wikipedia_Pregel);
 PGCH_BENCH(PR_Wikipedia_Channel);
+PGCH_BENCH(PR_WebUK_ChannelAdaptive);
+PGCH_BENCH(PR_Wikipedia_ChannelAdaptive);
 PGCH_BENCH(WCC_Wikipedia_Pregel);
 PGCH_BENCH(WCC_Wikipedia_Channel);
 PGCH_BENCH(WCC_WikipediaP_Pregel);

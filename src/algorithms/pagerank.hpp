@@ -42,9 +42,10 @@ class PageRankCombined : public Worker<PRVertex> {
     if (step_num() <= iterations) {
       const auto edges = v.edges();
       if (!edges.empty()) {
-        const double share =
-            v.value().rank / static_cast<double>(edges.size());
-        for (const auto& e : edges) msg_.send_message(e.dst, share);
+        // One value per vertex, every out-edge carries it: publish() runs
+        // the paper's per-edge send loop in push supersteps and feeds the
+        // gather path in pull supersteps.
+        msg_.publish(v.value().rank / static_cast<double>(edges.size()));
       } else {
         agg_.add(v.value().rank);
       }
@@ -54,7 +55,9 @@ class PageRankCombined : public Worker<PRVertex> {
   }
 
  private:
-  CombinedMessage<PRVertex, double> msg_{this, detail::sum_combiner(), "pr"};
+  CombinedMessage<PRVertex, double> msg_{
+      this, detail::sum_combiner(),
+      [](const double& share, graph::Weight) { return share; }, "pr"};
   Aggregator<PRVertex, double> agg_{this, detail::sum_combiner(), "sink"};
 };
 

@@ -35,9 +35,9 @@ class Sssp : public Worker<SsspVertex> {
       }
     }
     if (improved) {
-      for (const auto& e : v.edges()) {
-        msg_.send_message(e.dst, v.value().dist + e.weight);
-      }
+      // f(dist, w) = dist + w: push supersteps expand this per out-edge,
+      // pull supersteps let the neighbors gather it.
+      msg_.publish(v.value().dist);
     }
     v.vote_to_halt();  // re-activated by incoming distance offers
   }
@@ -46,6 +46,7 @@ class Sssp : public Worker<SsspVertex> {
   CombinedMessage<SsspVertex, std::uint64_t> msg_{
       this,
       make_combiner(c_min, std::uint64_t{graph::kInfWeight}),
+      [](const std::uint64_t& dist, graph::Weight w) { return dist + w; },
       "dist"};
 };
 

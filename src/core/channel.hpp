@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/direction.hpp"
 #include "graph/distributed.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/exchange.hpp"
@@ -162,6 +163,23 @@ class Channel {
   virtual void begin_compute(int /*num_slots*/) {}
   /// Merge per-slot staging (in slot order) and leave parallel mode.
   virtual void end_compute() {}
+
+  // ---- direction-optimizing compute (DESIGN.md section 9) ----------------
+  // A pull-capable channel can run a superstep in gather mode: instead of
+  // staging/serializing per-edge messages, senders publish one value and
+  // every destination vertex reads its in-neighbors' published values
+  // directly (rank-local edges ship zero wire bytes; remote publishers
+  // arrive via a compact per-rank boundary exchange). The engine decides
+  // the direction collectively each superstep and announces it here
+  // BEFORE the compute phase; channels that never pull ignore the call.
+
+  /// True when this channel implements the pull protocol. Must be a
+  /// constant for the channel's lifetime and identical on every rank (the
+  /// engine's collective direction decision keys off it).
+  [[nodiscard]] virtual bool pull_capable() const { return false; }
+  /// Announce this superstep's direction (only ever kPull on channels
+  /// whose pull_capable() is true).
+  virtual void set_direction(Direction /*dir*/) {}
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 

@@ -81,6 +81,18 @@ class EngineBase {
     return parallel_delivery_enabled_ && comm_threads_ > 1;
   }
 
+  // ---- direction-optimizing compute (DESIGN.md section 9) ----------------
+
+  /// How pull-capable channels choose their per-superstep direction:
+  /// forced push (the default — the seed engine's behaviour), forced pull,
+  /// or the frontier-density heuristic of core/direction.hpp. Defaults to
+  /// PGCH_DIRECTION. Must be identical on every rank (the adaptive
+  /// decision is collective) and set before run().
+  void set_direction_mode(DirectionMode mode) { direction_mode_ = mode; }
+  [[nodiscard]] DirectionMode direction_mode() const noexcept {
+    return direction_mode_;
+  }
+
   /// The rank's shared thread pool (compute chunks and the parallel
   /// communication phase both run on it), grown to at least `slots`
   /// slots. Callers must guard their per-slot work with
@@ -189,6 +201,7 @@ class EngineBase {
   runtime::RunStats stats_;
   int comm_threads_ = runtime::comm_threads_from_env();
   bool parallel_delivery_enabled_ = runtime::parallel_delivery_from_env();
+  DirectionMode direction_mode_ = direction_mode_from_env();
   std::unique_ptr<runtime::ComputePool> pool_;
 };
 

@@ -25,6 +25,15 @@
 // same left fold as the sequential scan, so even float values are
 // bit-identical. Delivery range-partitions the receiver's vertex space
 // and applies positionally (peer order, then payload order).
+//
+// Deliberately NOT pull-capable (DESIGN.md section 9): the channel's whole
+// value is already the pull win applied to the wire — after the handshake
+// it ships one bare value per unique destination, which is exactly the
+// per-in-neighbor traffic a gather would read, and its edge registry is
+// built dynamically by add_edge() during compute, so there is no static
+// f(value, weight) expansion for a gather to replay. A program that wants
+// direction switching uses the pull-capable CombinedMessage; a program
+// whose pattern is static every superstep is already served best here.
 
 #include <algorithm>
 #include <atomic>
@@ -53,9 +62,9 @@ class ScatterCombine : public Channel {
         vals_(w->num_local(), combiner_.identity),
         slot_(w->num_local(), combiner_.identity),
         has_(w->num_local(), 0),
+        recv_touched_(1),
         recv_order_(static_cast<std::size_t>(w->num_workers())),
         handshake_sent_(static_cast<std::size_t>(w->num_workers()), 0),
-        recv_touched_(1),
         seg_(static_cast<std::size_t>(w->num_workers()), nullptr),
         spans_(static_cast<std::size_t>(w->num_workers())) {}
 

@@ -188,6 +188,7 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     const auto c0 = Clock::now();
     begin_superstep();
     stats_.note_active(this->active_.count());
+    decide_direction();
     compute_phase();
     const auto c1 = Clock::now();
     communicate();
@@ -318,6 +319,40 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     return this->active_.any();
   }
 
+  /// Collective per-superstep direction decision (DESIGN.md section 9),
+  /// made BEFORE the compute phase so publish() already knows whether to
+  /// stage per-edge messages (push) or store one published value (pull).
+  /// Forced modes need no communication; the adaptive heuristic folds the
+  /// frontier size across the team (pull_capable() is a lifetime constant
+  /// identical on every rank, so every rank enters this collective — or
+  /// skips it — in lock-step). The chosen direction is recorded per
+  /// superstep; merge_from() asserts the ranks agreed.
+  void decide_direction() {
+    bool any_pull = false;
+    for (Channel* c : channels_) any_pull |= c->pull_capable();
+    Direction dir = Direction::kPush;
+    if (any_pull) {
+      switch (direction_mode()) {
+        case DirectionMode::kPush:
+          break;
+        case DirectionMode::kPull:
+          dir = Direction::kPull;
+          break;
+        case DirectionMode::kAdaptive: {
+          const std::uint64_t global_active =
+              env_.transport->allreduce_sum(env_.rank, this->active_.count());
+          dir = adaptive_direction(direction_, global_active, get_vnum());
+          break;
+        }
+      }
+    }
+    direction_ = dir;
+    for (Channel* c : channels_) {
+      if (c->pull_capable()) c->set_direction(dir);
+    }
+    stats_.note_direction(static_cast<std::uint8_t>(dir));
+  }
+
   /// The communication loop of Fig. 4: all channels start the superstep
   /// active; a channel remains in the loop while any worker's again() says
   /// so. Every round ends with one collective buffer exchange. Each active
@@ -380,6 +415,10 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
   }
 
   int compute_threads_ = 1;
+
+  /// Previous superstep's direction — the hysteresis state of the
+  /// adaptive heuristic (collective inputs, so identical on every rank).
+  Direction direction_ = Direction::kPush;
 
   // Degree-aware chunking state (parallel compute phase only).
   std::vector<std::uint64_t> degree_prefix_;    ///< all-vertex weights

@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -130,6 +132,39 @@ class CsrGraph {
  public:
   CsrGraph() : offsets_(1, 0) {}
 
+  // The lazily-built transpose cache carries a mutex, so the special
+  // members are hand-written: copies share the (immutable) cached
+  // transpose, moves steal it, and each instance owns a fresh mutex.
+  CsrGraph(const CsrGraph& other)
+      : offsets_(other.offsets_),
+        dst_(other.dst_),
+        weights_(other.weights_),
+        transpose_cache_(other.cached_transpose()) {}
+  CsrGraph(CsrGraph&& other) noexcept
+      : offsets_(std::move(other.offsets_)),
+        dst_(std::move(other.dst_)),
+        weights_(std::move(other.weights_)),
+        transpose_cache_(std::move(other.transpose_cache_)) {}
+  CsrGraph& operator=(const CsrGraph& other) {
+    if (this != &other) {
+      offsets_ = other.offsets_;
+      dst_ = other.dst_;
+      weights_ = other.weights_;
+      transpose_cache_ = other.cached_transpose();
+    }
+    return *this;
+  }
+  CsrGraph& operator=(CsrGraph&& other) noexcept {
+    if (this != &other) {
+      offsets_ = std::move(other.offsets_);
+      dst_ = std::move(other.dst_);
+      weights_ = std::move(other.weights_);
+      transpose_cache_ = std::move(other.transpose_cache_);
+    }
+    return *this;
+  }
+  ~CsrGraph() = default;
+
   /// Takes ownership of pre-built CSR arrays, validating the invariants
   /// (monotone offsets ending at dst.size(), in-range destinations,
   /// weights either empty or parallel to dst). Throws std::invalid_argument.
@@ -186,13 +221,21 @@ class CsrGraph {
   /// over the edge array (O(V+E), no per-list sorting). The transpose's
   /// adjacency lists come out sorted by destination as a side effect of
   /// the counting sort's stability.
-  [[nodiscard]] CsrGraph transpose() const;
+  ///
+  /// Built lazily ONCE and cached (thread-safe): repeat callers — the
+  /// pull gather path reads it every dense superstep — get the same
+  /// object back, so take it by reference. The reference is valid for
+  /// this graph's lifetime; copies of the graph share the cache.
+  [[nodiscard]] const CsrGraph& transpose() const;
 
   /// Same graph with every adjacency list sorted by destination id
   /// (duplicates keep their relative order): two stable counting passes,
   /// i.e. transpose twice — still O(V+E), unlike the builder's
-  /// per-list comparison sorts.
-  [[nodiscard]] CsrGraph sorted_by_dst() const { return transpose().transpose(); }
+  /// per-list comparison sorts. Served from the transpose cache (each
+  /// pass built at most once); same lifetime rule as transpose().
+  [[nodiscard]] const CsrGraph& sorted_by_dst() const {
+    return transpose().transpose();
+  }
 
   /// Expand back into the mutable builder form (symmetrize/simplify
   /// workflows on loaded snapshots).
@@ -203,7 +246,12 @@ class CsrGraph {
   /// "same checksum" means "byte-identical CSR arrays".
   [[nodiscard]] std::uint64_t checksum() const noexcept;
 
-  friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
+  /// Structural equality over the three CSR arrays (the transpose cache
+  /// is derived state and does not participate).
+  friend bool operator==(const CsrGraph& a, const CsrGraph& b) {
+    return a.offsets_ == b.offsets_ && a.dst_ == b.dst_ &&
+           a.weights_ == b.weights_;
+  }
 
   // Raw array access (I/O and tests).
   [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
@@ -223,9 +271,24 @@ class CsrGraph {
     if (u >= num_vertices()) throw std::out_of_range("CsrGraph: bad vertex id");
   }
 
+  /// The transpose arrays themselves (one counting pass; no caching).
+  [[nodiscard]] CsrGraph build_transpose() const;
+
+  /// Snapshot of the cache pointer under the lock (copy/assign helpers).
+  [[nodiscard]] std::shared_ptr<const CsrGraph> cached_transpose() const {
+    std::lock_guard<std::mutex> lock(transpose_mutex_);
+    return transpose_cache_;
+  }
+
   std::vector<std::uint64_t> offsets_;  ///< size num_vertices()+1
   std::vector<VertexId> dst_;           ///< size num_edges()
   std::vector<Weight> weights_;         ///< empty, or size num_edges()
+
+  // Lazily-built transpose (mutable: building it does not change the
+  // graph observably). shared_ptr so copies of the graph share one
+  // transpose instead of re-running the counting pass.
+  mutable std::mutex transpose_mutex_;
+  mutable std::shared_ptr<const CsrGraph> transpose_cache_;
 };
 
 }  // namespace pregel::graph

@@ -160,6 +160,33 @@ TEST(Csr, DoubleTransposeIsIdentityUpToOrder) {
   }
 }
 
+TEST(Csr, TransposeIsCachedAndSharedAcrossCopies) {
+  const CsrGraph c = erdos_renyi(200, 1000, 78).finalize();
+  // Lazy once: two calls hand back the same object, not two passes.
+  const CsrGraph* first = &c.transpose();
+  const CsrGraph* second = &c.transpose();
+  EXPECT_EQ(first, second);
+  // Copies share the already-built cache instead of rebuilding it.
+  const CsrGraph copy = c;
+  EXPECT_EQ(&copy.transpose(), first);
+  // Equality ignores the derived cache: a fresh (cache-less) copy of the
+  // same arrays still compares equal.
+  const CsrGraph fresh = erdos_renyi(200, 1000, 78).finalize();
+  EXPECT_TRUE(fresh == c);
+}
+
+TEST(Csr, TransposeOfTransposeRoundTripsSortedGraph) {
+  // On a graph whose lists are already destination-sorted, transposing
+  // twice is the identity — byte-identical arrays.
+  const CsrGraph c =
+      erdos_renyi(150, 900, 79).finalize().sorted_by_dst();
+  const CsrGraph& round = c.transpose().transpose();
+  EXPECT_TRUE(round == c);
+  // And sorted_by_dst() of a sorted graph is served from the same cache
+  // chain — same object on every call.
+  EXPECT_EQ(&c.sorted_by_dst(), &round);
+}
+
 TEST(Csr, SortedByDstSortsEveryList) {
   RmatOptions opts;
   opts.num_vertices = 128;
