@@ -191,14 +191,35 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     decide_direction();
     compute_phase();
     const auto c1 = Clock::now();
+    const double phases_before = stats_.serialize_seconds +
+                                 stats_.exchange_seconds +
+                                 stats_.deliver_seconds;
+    const std::uint64_t chunks_before =
+        env_.exchange->chunks_sent(env_.rank) +
+        env_.exchange->chunks_received(env_.rank);
     communicate();
+    const double comm_wall = seconds_between(c1, Clock::now());
+    // Hidden latency: how far the superstep's serialize + exchange +
+    // deliver sub-phases exceed the comm wall they ran in. Zero on the
+    // bulk path (the three are disjoint sub-intervals of the wall); in
+    // pipelined supersteps exchange_seconds is the wire-active span,
+    // which overlaps the other two.
+    const double phase_sum = stats_.serialize_seconds +
+                             stats_.exchange_seconds +
+                             stats_.deliver_seconds - phases_before;
+    stats_.overlap_seconds += std::max(0.0, phase_sum - comm_wall);
+    stats_.chunks_per_superstep.push_back(
+        env_.exchange->chunks_sent(env_.rank) +
+        env_.exchange->chunks_received(env_.rank) - chunks_before);
     stats_.compute_seconds += seconds_between(c0, c1);
-    stats_.comm_seconds += seconds_between(c1, Clock::now());
+    stats_.comm_seconds += comm_wall;
     return any_active_vertex();
   }
 
   void finish_stats() override {
     stats_.frame_bytes = env_.exchange->frame_overhead_bytes(env_.rank);
+    stats_.chunks_sent = env_.exchange->chunks_sent(env_.rank);
+    stats_.chunks_received = env_.exchange->chunks_received(env_.rank);
   }
 
  private:
@@ -366,6 +387,9 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
   void communicate() {
     const bool par_serialize = comm_threads() > 1;
     const bool par_deliver = parallel_delivery();
+    const bool can_pipeline = pipeline() &&
+                              env_.exchange->pipeline_capable() &&
+                              num_workers() > 1;
     std::uint64_t local_mask = 0;
     for (std::size_t i = 0; i < channels_.size(); ++i) {
       local_mask |= (std::uint64_t{1} << i);
@@ -375,46 +399,170 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
           env_.transport->allreduce_or(env_.rank, local_mask);
       if (mask == 0) break;
 
-      const auto t0 = Clock::now();
-      for (std::size_t i = 0; i < channels_.size(); ++i) {
-        if ((mask >> i) & 1u) {
-          env_.exchange->begin_frames(env_.rank, static_cast<int>(i));
-          if (par_serialize) {
-            channels_[i]->serialize_parallel();
-          } else {
-            channels_[i]->serialize();
-          }
-          stats_.bytes_by_channel[channels_[i]->name()] +=
-              env_.exchange->end_frames(env_.rank, static_cast<int>(i));
-        }
+      // Collective bulk/pipelined decision (pipeline_capable() is a
+      // lifetime constant identical on every rank, so every rank enters
+      // this collective — or skips it — in lock-step): pipeline when the
+      // PREVIOUS round's team-wide payload met the parallel-comm
+      // threshold. The previous round's volume is the only observable
+      // every rank already agrees on before serializing, and steady-state
+      // rounds ship similar volumes, so it is a faithful predictor; tiny
+      // rounds (propagation tails, the very first round of a run) fall
+      // back to bulk and skip the chunking overhead.
+      bool pipelined = false;
+      if (can_pipeline) {
+        const std::uint64_t team_bytes = env_.transport->allreduce_sum(
+            env_.rank, last_round_payload_bytes_);
+        pipelined = team_bytes >= kParallelCommMinItems;
       }
-      const auto t1 = Clock::now();
-      env_.exchange->exchange(env_.rank);
-      ++stats_.comm_rounds;
-      const auto t2 = Clock::now();
 
-      local_mask = 0;
-      for (std::size_t i = 0; i < channels_.size(); ++i) {
-        if ((mask >> i) & 1u) {
-          env_.exchange->open_frames(env_.rank, static_cast<int>(i),
-                                     channels_[i]->name());
-          if (par_deliver) {
-            channels_[i]->deliver_parallel();
-          } else {
-            channels_[i]->deserialize();
-          }
-          env_.exchange->close_frames(env_.rank, static_cast<int>(i),
-                                      channels_[i]->name());
-          if (channels_[i]->again()) local_mask |= (std::uint64_t{1} << i);
-        }
-      }
-      stats_.serialize_seconds += seconds_between(t0, t1);
-      stats_.exchange_seconds += seconds_between(t1, t2);
-      stats_.deliver_seconds += seconds_between(t2, Clock::now());
+      local_mask = pipelined
+                       ? pipelined_round(mask, par_serialize, par_deliver)
+                       : bulk_round(mask, par_serialize, par_deliver);
     }
   }
 
+  /// One bulk communication round: the three-barrier schedule (all
+  /// serialize, one collective exchange, all deliver). The parity oracle
+  /// for the pipelined path.
+  std::uint64_t bulk_round(std::uint64_t mask, bool par_serialize,
+                           bool par_deliver) {
+    const auto t0 = Clock::now();
+    std::uint64_t round_payload = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if ((mask >> i) & 1u) {
+        env_.exchange->begin_frames(env_.rank, static_cast<int>(i));
+        if (par_serialize) {
+          channels_[i]->serialize_parallel();
+        } else {
+          channels_[i]->serialize();
+        }
+        const std::uint64_t payload =
+            env_.exchange->end_frames(env_.rank, static_cast<int>(i));
+        stats_.bytes_by_channel[channels_[i]->name()] += payload;
+        round_payload += payload;
+      }
+    }
+    const auto t1 = Clock::now();
+    env_.exchange->exchange(env_.rank);
+    ++stats_.comm_rounds;
+    const auto t2 = Clock::now();
+
+    std::uint64_t next_mask = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if ((mask >> i) & 1u) {
+        env_.exchange->open_frames(env_.rank, static_cast<int>(i),
+                                   channels_[i]->name());
+        if (par_deliver) {
+          channels_[i]->deliver_parallel();
+        } else {
+          channels_[i]->deserialize();
+        }
+        env_.exchange->close_frames(env_.rank, static_cast<int>(i),
+                                    channels_[i]->name());
+        if (channels_[i]->again()) next_mask |= (std::uint64_t{1} << i);
+      }
+    }
+    stats_.serialize_seconds += seconds_between(t0, t1);
+    stats_.exchange_seconds += seconds_between(t1, t2);
+    stats_.deliver_seconds += seconds_between(t2, Clock::now());
+    last_round_payload_bytes_ = round_payload;
+    return next_mask;
+  }
+
+  /// One pipelined communication round (DESIGN.md section 10): each
+  /// channel's outbox bytes stream as chunks while it is still
+  /// serializing (per-destination, for channels that support ranged
+  /// serialize) and at the latest when its serialize completes, and each
+  /// channel delivers as soon as its region has landed from every peer —
+  /// so the wire transfer overlaps the serialize of the same and later
+  /// channels and the delivery of earlier ones.
+  /// Serialize order, reassembled inbox bytes, frame validation and
+  /// delivery order are identical to bulk_round, so results, per-channel
+  /// bytes and supersteps stay bitwise-identical.
+  ///
+  /// Timing: serialize/deliver_seconds accumulate only the main-thread
+  /// work intervals; exchange_seconds accumulates the exchange's
+  /// wire-active span, which overlaps them — that excess over the comm
+  /// wall is what RunStats::overlap_seconds reports.
+  std::uint64_t pipelined_round(std::uint64_t mask, bool par_serialize,
+                                bool par_deliver) {
+    int last_ch = 63;
+    while (((mask >> last_ch) & 1u) == 0) --last_ch;
+
+    const double wire_before = env_.exchange->wire_seconds(env_.rank);
+    env_.exchange->pipeline_begin(env_.rank);
+    std::uint64_t round_payload = 0;
+    double serialize_s = 0.0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (((mask >> i) & 1u) == 0) continue;
+      auto s0 = Clock::now();
+      env_.exchange->begin_frames(env_.rank, static_cast<int>(i));
+      if (par_serialize) {
+        channels_[i]->serialize_parallel();
+      } else if (channels_[i]->serialize_prepare()) {
+        // Ranged serialize: destinations emit one at a time — peers first
+        // so the wire starts as early as possible, the self rank (usually
+        // the bulk of the staged messages) last — with a stream call
+        // after each, so completed destinations transfer while the
+        // remaining ones are still serializing. Per-destination emits are
+        // order-independent and byte-identical to serialize().
+        const int workers = num_workers();
+        for (int k = 1; k <= workers; ++k) {
+          const int to = (env_.rank + k) % workers;
+          channels_[i]->serialize_rank(to);
+          serialize_s += seconds_between(s0, Clock::now());
+          env_.exchange->pipeline_stream(env_.rank, static_cast<int>(i));
+          s0 = Clock::now();
+        }
+      } else {
+        channels_[i]->serialize();
+      }
+      const std::uint64_t payload =
+          env_.exchange->end_frames(env_.rank, static_cast<int>(i));
+      stats_.bytes_by_channel[channels_[i]->name()] += payload;
+      round_payload += payload;
+      serialize_s += seconds_between(s0, Clock::now());
+      env_.exchange->pipeline_flush(env_.rank, static_cast<int>(i),
+                                    static_cast<int>(i) == last_ch);
+    }
+    env_.exchange->pipeline_finish_sends(env_.rank);
+    ++stats_.comm_rounds;
+    ++stats_.pipelined_rounds;
+
+    std::uint64_t next_mask = 0;
+    double deliver_s = 0.0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (((mask >> i) & 1u) == 0) continue;
+      env_.exchange->pipeline_wait_region(env_.rank, static_cast<int>(i));
+      const auto d0 = Clock::now();
+      env_.exchange->open_frames(env_.rank, static_cast<int>(i),
+                                 channels_[i]->name());
+      if (par_deliver) {
+        channels_[i]->deliver_parallel();
+      } else {
+        channels_[i]->deserialize();
+      }
+      env_.exchange->close_frames(env_.rank, static_cast<int>(i),
+                                  channels_[i]->name());
+      if (channels_[i]->again()) next_mask |= (std::uint64_t{1} << i);
+      deliver_s += seconds_between(d0, Clock::now());
+    }
+    env_.exchange->pipeline_end(env_.rank);
+    stats_.serialize_seconds += serialize_s;
+    stats_.deliver_seconds += deliver_s;
+    stats_.exchange_seconds +=
+        env_.exchange->wire_seconds(env_.rank) - wire_before;
+    last_round_payload_bytes_ = round_payload;
+    return next_mask;
+  }
+
   int compute_threads_ = 1;
+
+  /// This rank's payload bytes of the most recent communication round —
+  /// the local input of the collective bulk/pipelined fallback decision.
+  /// Persists across supersteps (round 1 of a superstep predicts from the
+  /// previous superstep's last round).
+  std::uint64_t last_round_payload_bytes_ = 0;
 
   /// Previous superstep's direction — the hysteresis state of the
   /// adaptive heuristic (collective inputs, so identical on every rank).

@@ -22,13 +22,19 @@
 // Like the binary snapshot format, the wire encoding is little-endian by
 // definition (raw struct bytes); mixed-endian clusters are not supported.
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "runtime/transport.hpp"
 
 namespace pregel::runtime {
+
+struct TcpPeerPipe;  // per-peer pipelined-round machinery (tcp_transport.cpp)
 
 /// Where a rank listens: host (name or dotted quad) plus TCP port.
 struct TcpEndpoint {
@@ -67,6 +73,31 @@ class TcpTransport final : public Transport {
   std::vector<Buffer> gather_to_root(int rank, const Buffer& local) override;
   void broadcast_from_root(int rank, Buffer* data) override;
 
+  // ---- pipelined rounds (DESIGN.md section 10) --------------------------
+  // Per peer: a sender thread draining a bounded queue of encoded chunks
+  // into the socket, and a receiver thread running the ChunkDecoder over
+  // exact-size reads, parking both between rounds so the same sockets can
+  // carry bulk and control traffic. Threads are spawned lazily on the
+  // first pipeline_begin().
+
+  /// Simulated link bandwidth for pipelined sends (bytes/second; 0 = real
+  /// wire speed). Seeded from PGCH_SIM_NET_MBPS like the in-process
+  /// transport's exchange throttle, so pipelined and bulk benchmark rows
+  /// model the same link. The sender threads pace each chunk's write to
+  /// this rate through one shared budget (one NIC per rank, however many
+  /// peers). Bulk exchange() stays at real wire speed. Set between rounds.
+  void set_simulated_bandwidth(double bytes_per_sec) noexcept {
+    sim_bandwidth_.store(bytes_per_sec, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool supports_pipeline() const noexcept override;
+  void pipeline_begin(int rank) override;
+  void pipeline_send(int rank, int peer, const ChunkHeader& header,
+                     const void* payload) override;
+  void pipeline_flush_sends(int rank) override;
+  bool pipeline_recv(int rank, int peer, DecodedChunk* out) override;
+  void pipeline_end(int rank) override;
+
  private:
   enum class Op { kOr, kSum };
 
@@ -88,6 +119,15 @@ class TcpTransport final : public Transport {
   std::uint64_t recv_control(int peer);
   std::uint64_t allreduce(int rank, std::uint64_t local, Op op);
 
+  void ensure_pipes();
+  void stop_pipes() noexcept;
+  TcpPeerPipe& pipe(int peer);
+
+  /// Sender-thread hook: delay until `bytes` more wire bytes fit the
+  /// simulated link (no-op at bandwidth 0). Shared deadline across all of
+  /// this rank's sender threads — concurrent peers split one link.
+  void pace_wire(std::size_t bytes);
+
   const int rank_;
   const int world_;
   int listen_fd_ = -1;
@@ -96,6 +136,14 @@ class TcpTransport final : public Transport {
   std::vector<Buffer> out_;
   std::vector<Buffer> in_;
   bool connected_ = false;
+  std::vector<std::unique_ptr<TcpPeerPipe>> pipes_;  ///< per peer; lazy
+
+  // Simulated-link pacing of pipelined sends (see set_simulated_bandwidth).
+  std::atomic<double> sim_bandwidth_{simulated_bandwidth_bytes_per_sec()};
+  std::mutex pace_mu_;
+  std::chrono::steady_clock::time_point pace_next_{};
+
+  friend struct TcpPeerPipe;
 };
 
 }  // namespace pregel::runtime

@@ -25,6 +25,7 @@
 #include "graph/generators.hpp"
 #include "runtime/tcp_transport.hpp"
 #include "runtime/team.hpp"
+#include "tcp_mesh.hpp"
 
 namespace {
 
@@ -280,21 +281,7 @@ TEST(Direction, ModeFromEnvParsesAndRejects) {
 
 // -------------------------------------------------------- TCP transport --
 
-/// W transports on ephemeral loopback ports, mesh-connected.
-std::vector<std::unique_ptr<TcpTransport>> make_mesh(int world) {
-  std::vector<std::unique_ptr<TcpTransport>> transports;
-  std::vector<TcpEndpoint> peers(static_cast<std::size_t>(world));
-  for (int rank = 0; rank < world; ++rank) {
-    transports.push_back(std::make_unique<TcpTransport>(
-        rank, world, TcpEndpoint{"127.0.0.1", 0}));
-    peers[static_cast<std::size_t>(rank)] =
-        TcpEndpoint{"127.0.0.1", transports.back()->listen_port()};
-  }
-  WorkerTeam::run(world, [&](int rank) {
-    transports[static_cast<std::size_t>(rank)]->connect_mesh(peers, 20.0);
-  });
-  return transports;
-}
+using pregel::testing::make_mesh;  // tests/tcp_mesh.hpp (EADDRINUSE retry)
 
 template <typename WorkerT, typename OutT, typename Extract>
 RunStats run_tcp(const graph::DistributedGraph& dg, int world,

@@ -24,6 +24,7 @@
 #include "runtime/tcp_transport.hpp"
 #include "runtime/team.hpp"
 #include "runtime/transport.hpp"
+#include "tcp_mesh.hpp"
 
 namespace {
 
@@ -140,23 +141,7 @@ TEST(InProcessTransport, GatherAndBroadcastCollectives) {
 
 // ------------------------------------------------------- TCP mesh setup --
 
-/// W transports bound to ephemeral loopback ports, mesh-connected from W
-/// threads (each thread stands in for one process; they share nothing but
-/// the sockets).
-std::vector<std::unique_ptr<TcpTransport>> make_mesh(int world) {
-  std::vector<std::unique_ptr<TcpTransport>> transports;
-  std::vector<TcpEndpoint> peers(static_cast<std::size_t>(world));
-  for (int r = 0; r < world; ++r) {
-    transports.push_back(std::make_unique<TcpTransport>(
-        r, world, TcpEndpoint{"127.0.0.1", 0}));
-    peers[static_cast<std::size_t>(r)] =
-        TcpEndpoint{"127.0.0.1", transports.back()->listen_port()};
-  }
-  WorkerTeam::run(world, [&](int rank) {
-    transports[static_cast<std::size_t>(rank)]->connect_mesh(peers, 20.0);
-  });
-  return transports;
-}
+using pregel::testing::make_mesh;  // tests/tcp_mesh.hpp (EADDRINUSE retry)
 
 TEST(TcpTransport, CollectivesAcrossLoopbackSockets) {
   for (const int world : {2, 4}) {
@@ -405,16 +390,21 @@ TEST(RunStatsWire, SerializeDeserializeRoundTrips) {
   s.serialize_seconds = 0.2;
   s.exchange_seconds = 0.15;
   s.deliver_seconds = 0.1;
+  s.overlap_seconds = 0.05;
   s.supersteps = 7;
   s.comm_rounds = 12;
+  s.pipelined_rounds = 9;
   s.message_bytes = 123456;
   s.message_batches = 34;
+  s.chunks_sent = 77;
+  s.chunks_received = 78;
   s.frame_bytes = 512;
   s.bytes_by_channel["dist"] = 1000;
   s.bytes_by_channel["agg"] = 24;
   s.active_per_superstep = {10, 8, 3};
   s.active_vertex_total = 21;
   s.bytes_per_superstep = {400, 300, 100};
+  s.chunks_per_superstep = {40, 70, 45};
 
   Buffer wire;
   s.serialize(wire);
@@ -426,15 +416,20 @@ TEST(RunStatsWire, SerializeDeserializeRoundTrips) {
   EXPECT_EQ(back.serialize_seconds, s.serialize_seconds);
   EXPECT_EQ(back.exchange_seconds, s.exchange_seconds);
   EXPECT_EQ(back.deliver_seconds, s.deliver_seconds);
+  EXPECT_EQ(back.overlap_seconds, s.overlap_seconds);
   EXPECT_EQ(back.supersteps, s.supersteps);
   EXPECT_EQ(back.comm_rounds, s.comm_rounds);
+  EXPECT_EQ(back.pipelined_rounds, s.pipelined_rounds);
   EXPECT_EQ(back.message_bytes, s.message_bytes);
   EXPECT_EQ(back.message_batches, s.message_batches);
+  EXPECT_EQ(back.chunks_sent, s.chunks_sent);
+  EXPECT_EQ(back.chunks_received, s.chunks_received);
   EXPECT_EQ(back.frame_bytes, s.frame_bytes);
   EXPECT_EQ(back.bytes_by_channel, s.bytes_by_channel);
   EXPECT_EQ(back.active_per_superstep, s.active_per_superstep);
   EXPECT_EQ(back.active_vertex_total, s.active_vertex_total);
   EXPECT_EQ(back.bytes_per_superstep, s.bytes_per_superstep);
+  EXPECT_EQ(back.chunks_per_superstep, s.chunks_per_superstep);
 }
 
 TEST(RunStatsWire, DetailedReportsComputeCommunicationSplit) {
