@@ -207,6 +207,22 @@ inline const CsrGraph& wikipedia_scc_graph() {
   return g;
 }
 
+/// Skew stand-in for the partitioner comparison: an R-MAT power-law graph
+/// with permute_ids=false, so the hubs stay clustered at low vertex ids.
+/// A contiguous range partition then hands rank 0 nearly all the edge
+/// work, which is exactly the regime degree_partition (and PGCH_STEAL)
+/// exist to fix — with the default permutation the skew averages out
+/// across ranges and the comparison shows nothing.
+inline const CsrGraph& rmat_skew_graph() {
+  static const CsrGraph g = make_dataset("rmat_skew", [] {
+    return pregel::graph::rmat({.num_vertices = scaled(1u << 16),
+                                .num_edges = scaled(16u << 16),
+                                .seed = 110,
+                                .permute_ids = false});
+  });
+  return g;
+}
+
 /// RMAT24 stand-in: weighted skewed graph, symmetrized for MSF.
 inline const CsrGraph& rmat24_graph() {
   static const CsrGraph g = make_dataset(
@@ -260,6 +276,27 @@ inline DistributedGraph hash_dg(CsrGraph&& g) {
       pregel::graph::hash_partition(owned->num_vertices(), num_workers())));
 }
 
+inline DistributedGraph range_dg(const CsrGraph& g) {
+  return warmed(DistributedGraph(
+      shared(g),
+      pregel::graph::range_partition(g.num_vertices(), num_workers())));
+}
+
+inline DistributedGraph degree_dg(const CsrGraph& g) {
+  return warmed(DistributedGraph(
+      shared(g), pregel::graph::degree_partition(g, num_workers())));
+}
+
+/// Partitioner selected by PGCH_PARTITION (hash when unset) — the view
+/// multi-process benches use so every rank of a `pgch_launch --partition`
+/// team builds the identical partition.
+inline DistributedGraph env_partition_dg(const CsrGraph& g) {
+  const auto kind = pregel::graph::partition_kind_from_env(
+      pregel::graph::PartitionKind::kHash);
+  return warmed(DistributedGraph(
+      shared(g), pregel::graph::make_partition(g, num_workers(), kind)));
+}
+
 inline DistributedGraph voronoi_dg(const CsrGraph& g) {
   pregel::graph::VoronoiOptions opts;
   opts.num_workers = num_workers();
@@ -291,8 +328,8 @@ inline DistributedGraph voronoi_dg(CsrGraph&& g) {
 //    "msg_bytes": ..., "supersteps": ..., "comm_rounds": ...,
 //    "serialize_s": ..., "exchange_s": ..., "deliver_s": ...,
 //    "overlap_s": ..., "pipelined_rounds": ..., "chunks_sent": ...,
-//    "chunks_received": ..., "threads": ..., "comm_threads": ...,
-//    "transport": ...}
+//    "chunks_received": ..., "rank_imbalance": ..., "slot_imbalance": ...,
+//    "threads": ..., "comm_threads": ..., "transport": ...}
 // In pipelined runs (PGCH_PIPELINE=1) exchange_s is the wire-active span,
 // so serialize_s + exchange_s + deliver_s can exceed comm_s by up to
 // overlap_s — the time the stream hid behind the wire.
@@ -368,6 +405,8 @@ inline void record_json(const std::string& raw_name,
      << ", \"pipelined_rounds\": " << stats.pipelined_rounds
      << ", \"chunks_sent\": " << stats.chunks_sent
      << ", \"chunks_received\": " << stats.chunks_received
+     << ", \"rank_imbalance\": " << stats.rank_imbalance()
+     << ", \"slot_imbalance\": " << stats.slot_imbalance()
      << ", \"threads\": " << pregel::runtime::compute_threads_from_env()
      << ", \"comm_threads\": " << pregel::runtime::comm_threads_from_env()
      << ", \"workers\": " << num_workers() << ", \"transport\": \""

@@ -39,9 +39,9 @@ class Aggregator : public Channel {
   /// The aggregate of all add() calls from the previous superstep.
   [[nodiscard]] const ValT& result() const noexcept { return result_; }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  void begin_compute(int num_chunks) override { par_.open(num_chunks); }
 
-  /// Fold per-slot contributions in slot order — the exact sequential
+  /// Fold per-chunk contributions in chunk order — the exact sequential
   /// fold sequence, so float aggregates stay bitwise identical.
   void end_compute() override {
     par_.replay([this](const ValT& v) { partial_ = combiner_(partial_, v); });
@@ -70,7 +70,7 @@ class Aggregator : public Channel {
   ValT result_;
 
   // Parallel compute staging (see Channel::begin_compute).
-  detail::SlotStagedLog<ValT> par_;
+  detail::ChunkStagedLog<ValT> par_;
 };
 
 }  // namespace pregel::core

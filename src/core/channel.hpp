@@ -62,27 +62,37 @@ inline thread_local Env* t_env = nullptr;
 inline thread_local std::uint32_t t_current_lidx = 0;
 
 /// Slot index of the calling thread inside the rank's ComputePool (0 for
-/// the rank thread / sequential mode). Channels key their per-thread
-/// staging by this.
+/// the rank thread / sequential mode). Identifies the *executing thread*:
+/// algorithms key reusable per-thread compute scratch by it
+/// (WorkerBase::compute_slot()).
 inline thread_local int t_compute_slot = 0;
 
-/// Per-compute-slot staging log for channels whose compute-time APIs
-/// append to shared state. open(T) in begin_compute(); while active(),
-/// stage(v) appends to the calling thread's slot; replay(fn) in
-/// end_compute() feeds every staged value to fn in slot order — the
+/// Index of the compute *chunk* the calling thread is currently running
+/// (0 outside a parallel compute phase). Channels key their staging by
+/// this, NOT by the slot: chunks are contiguous ascending vertex ranges,
+/// so staging replayed in chunk order is the sequential vertex-order call
+/// sequence regardless of which slot executed each chunk — that is what
+/// keeps the work-stealing schedule (PGCH_STEAL) bitwise-identical to the
+/// pinned one. Under the pinned schedule chunk index == slot index.
+inline thread_local int t_compute_chunk = 0;
+
+/// Per-compute-chunk staging log for channels whose compute-time APIs
+/// append to shared state. open(C) in begin_compute(); while active(),
+/// stage(v) appends to the calling thread's current chunk; replay(fn) in
+/// end_compute() feeds every staged value to fn in chunk order — the
 /// sequential vertex-order call sequence — and deactivates the log.
 template <typename T>
-class SlotStagedLog {
+class ChunkStagedLog {
  public:
-  void open(int num_slots) {
-    logs_.resize(static_cast<std::size_t>(num_slots));
+  void open(int num_chunks) {
+    logs_.resize(static_cast<std::size_t>(num_chunks));
     active_ = true;
   }
 
   [[nodiscard]] bool active() const noexcept { return active_; }
 
   void stage(const T& v) {
-    logs_[static_cast<std::size_t>(t_compute_slot)].push_back(v);
+    logs_[static_cast<std::size_t>(t_compute_chunk)].push_back(v);
   }
 
   template <typename Fn>
@@ -168,18 +178,21 @@ class Channel {
   /// returned true).
   virtual void serialize_rank(int /*to*/) {}
 
-  // ---- parallel compute phase (DESIGN.md section 3) ---------------------
+  // ---- parallel compute phase (DESIGN.md sections 3, 11) ----------------
   // The worker brackets a chunked multi-thread compute phase between
-  // begin_compute(T) and end_compute(). In between, per-vertex channel
-  // APIs may be called concurrently from T threads; detail::t_compute_slot
-  // identifies the caller's slot. Channels whose staging is shared stage
-  // such calls per slot and replay them in slot order in end_compute() —
-  // chunks are contiguous and ascending, so the replayed op sequence is
-  // byte-for-byte the sequential one and results stay bitwise identical.
+  // begin_compute(C) and end_compute(). In between, per-vertex channel
+  // APIs may be called concurrently; detail::t_compute_chunk identifies
+  // the contiguous ascending vertex chunk the caller is running (each
+  // chunk is executed by exactly one thread). Channels whose staging is
+  // shared stage such calls per chunk and replay them in chunk order in
+  // end_compute() — chunks are contiguous and ascending, so the replayed
+  // op sequence is byte-for-byte the sequential one and results stay
+  // bitwise identical no matter which slot executed which chunk (pinned
+  // or work-stealing schedule alike).
 
-  /// Enter parallel staging mode with `num_slots` compute threads.
-  virtual void begin_compute(int /*num_slots*/) {}
-  /// Merge per-slot staging (in slot order) and leave parallel mode.
+  /// Enter parallel staging mode with `num_chunks` compute chunks.
+  virtual void begin_compute(int /*num_chunks*/) {}
+  /// Merge per-chunk staging (in chunk order) and leave parallel mode.
   virtual void end_compute() {}
 
   // ---- direction-optimizing compute (DESIGN.md section 9) ----------------

@@ -17,20 +17,21 @@
 //    AT STAGE TIME: each slot keeps a dense partial keyed by the
 //    receiver's local index, so a send is an array write, not a hash
 //    lookup. The partial's value/flag arrays are dense — O(receiver
-//    slice) per (slot, destination rank) pair that sends at all, lazily
+//    slice) per (chunk, destination rank) pair that sends at all, lazily
 //    allocated and reused for the whole run — while per-superstep work
 //    (merge + reset, via the touched lists) stays O(unique
 //    destinations). A future hash-partial mode is the knob to pull if
-//    slot-count x slice-size dense arrays ever dominate on huge graphs.
-//  * Inexact combiners (floating-point sums) keep per-slot raw message
-//    logs; the merge replays them message by message in slot order, which
+//    chunk-count x slice-size dense arrays ever dominate on huge graphs.
+//  * Inexact combiners (floating-point sums) keep per-chunk raw message
+//    logs; the merge replays them message by message in chunk order, which
 //    is exactly the sequential fold (chunks are contiguous and
-//    ascending), so float results stay bitwise identical across thread
-//    counts. Trade-off: the logs stage O(messages) per superstep rather
-//    than O(unique destinations) — combining them earlier would regroup
-//    the float fold and break the bitwise invariant. (Parallel compute
-//    already staged O(messages) in the SlotStagedLog era; what changed
-//    is that the sequential path now does too.)
+//    ascending, whichever slot executed them), so float results stay
+//    bitwise identical across thread counts and schedules. Trade-off: the
+//    logs stage O(messages) per superstep rather than O(unique
+//    destinations) — combining them earlier would regroup the float fold
+//    and break the bitwise invariant. (Parallel compute already staged
+//    O(messages) in the slot-keyed staging era; what changed is that the
+//    sequential path now does too.)
 //
 // serialize() merges the shards per destination rank — in parallel over
 // contiguous destination-rank ranges when the engine runs the comm phase
@@ -111,7 +112,8 @@ class CombinedMessage : public Channel {
 
   /// Send m to dst; values for the same destination are combined. Safe
   /// from parallel compute threads: staging is keyed by the caller's
-  /// compute slot. Only valid in push supersteps — during a pull
+  /// current compute chunk (run by exactly one thread). Only valid in
+  /// push supersteps — during a pull
   /// superstep senders publish and receivers gather, so a stray per-edge
   /// send would silently vanish; throw instead.
   void send_message(KeyT dst, const ValT& m) {
@@ -120,11 +122,12 @@ class CombinedMessage : public Channel {
           "CombinedMessage::send_message called during a pull superstep — "
           "pull-capable channels must stage per-vertex values via publish()");
     }
-    Shard& shard = shards_[static_cast<std::size_t>(detail::t_compute_slot)];
+    Shard& shard =
+        shards_[static_cast<std::size_t>(detail::t_compute_chunk)];
     const auto to = static_cast<std::size_t>(w().owner_of(dst));
     const std::uint32_t lidx = w().local_of(dst);
     if (combiner_.exact) {
-      // Stage-time combining into the slot's dense per-destination
+      // Stage-time combining into the chunk's dense per-destination
       // partial (lazily sized to the receiving rank's slice).
       Partial& p = shard.partial[to];
       if (p.vals.empty()) {
@@ -180,13 +183,14 @@ class CombinedMessage : public Channel {
     if (dir == Direction::kPull) ensure_pull_ready();
   }
 
-  /// Grow the shard set to one per compute slot. No replay happens in
-  /// end_compute(): staging is already slot-keyed, and the serialize-time
-  /// merge walks the shards in slot order (the sequential message order).
-  void begin_compute(int num_slots) override {
-    if (static_cast<int>(shards_.size()) < num_slots) {
+  /// Grow the shard set to one per compute chunk. No replay happens in
+  /// end_compute(): staging is already chunk-keyed, and the
+  /// serialize-time merge walks the shards in chunk order (the sequential
+  /// message order, whichever slot ran each chunk).
+  void begin_compute(int num_chunks) override {
+    if (static_cast<int>(shards_.size()) < num_chunks) {
       const std::size_t old = shards_.size();
-      shards_.resize(static_cast<std::size_t>(num_slots));
+      shards_.resize(static_cast<std::size_t>(num_chunks));
       for (std::size_t s = old; s < shards_.size(); ++s) {
         init_shard(shards_[s]);
       }
@@ -360,14 +364,15 @@ class CombinedMessage : public Channel {
 
   /// Merge every shard's staging for destination ranks [begin, end) and
   /// emit one combined wire pair per unique destination. Walking shards
-  /// in slot order makes both the fold sequence (raw logs: message by
+  /// in chunk order makes both the fold sequence (raw logs: message by
   /// message) and the first-touch wire order exactly the sequential ones,
-  /// so bytes and float bits are independent of the thread count.
+  /// so bytes and float bits are independent of the thread count and of
+  /// which slot executed each chunk.
   void emit_ranks(int begin, int end) {
     for (int to = begin; to < end; ++to) {
       const auto peer = static_cast<std::size_t>(to);
       if (combiner_.exact && shards_.size() == 1) {
-        // Single-shard exact staging: the slot partial already holds the
+        // Single-shard exact staging: the chunk partial already holds the
         // final combined values in first-touch order — emit it directly.
         Partial& p = shards_[0].partial[peer];
         runtime::Buffer& direct = w().outbox(to);

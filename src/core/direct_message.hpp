@@ -4,10 +4,11 @@
 // to any known vertex; the receiver iterates the values that arrived in
 // the previous superstep.
 //
-// Staging is sharded per (compute slot, destination rank): a send is one
-// push into the caller's own shard, and serialize() concatenates the
-// shards in slot order — the sequential message order, since compute
-// chunks are contiguous and ascending — fanning the per-destination-rank
+// Staging is sharded per (compute chunk, destination rank): a send is one
+// push into the shard of the chunk the caller is running, and serialize()
+// concatenates the shards in chunk order — the sequential message order,
+// since compute chunks are contiguous and ascending, regardless of which
+// thread executed each chunk — fanning the per-destination-rank
 // emission over the comm pool when the engine runs the communication
 // phase with threads. Delivery range-partitions the local vertex space
 // (DESIGN.md section 8); per-vertex arrival order stays (peer order, then
@@ -42,17 +43,18 @@ class DirectMessage : public Channel {
 
   /// Queue a message for vertex `dst`, delivered next superstep. Safe
   /// from parallel compute threads: staging is keyed by the caller's
-  /// compute slot.
+  /// current compute chunk, which exactly one thread runs.
   void send_message(KeyT dst, const ValT& m) {
-    Shard& shard = shards_[static_cast<std::size_t>(detail::t_compute_slot)];
+    Shard& shard =
+        shards_[static_cast<std::size_t>(detail::t_compute_chunk)];
     shard[static_cast<std::size_t>(w().owner_of(dst))].push_back(
         Wire{w().local_of(dst), m});
   }
 
-  void begin_compute(int num_slots) override {
-    if (static_cast<int>(shards_.size()) < num_slots) {
+  void begin_compute(int num_chunks) override {
+    if (static_cast<int>(shards_.size()) < num_chunks) {
       const std::size_t old = shards_.size();
-      shards_.resize(static_cast<std::size_t>(num_slots));
+      shards_.resize(static_cast<std::size_t>(num_chunks));
       for (std::size_t s = old; s < shards_.size(); ++s) {
         init_shard(shards_[s]);
       }
@@ -121,7 +123,7 @@ class DirectMessage : public Channel {
     ValT value;
   };
 
-  /// One compute slot's staged wires, bucketed by destination rank.
+  /// One compute chunk's staged wires, bucketed by destination rank.
   using Shard = std::vector<std::vector<Wire>>;
 
   void init_shard(Shard& s) {
@@ -138,7 +140,7 @@ class DirectMessage : public Channel {
   }
 
   /// Emit destination ranks [begin, end): per rank, the shard batches
-  /// concatenated in slot order — the sequential send order.
+  /// concatenated in chunk order — the sequential send order.
   void emit_ranks(int begin, int end) {
     for (int to = begin; to < end; ++to) {
       const auto peer = static_cast<std::size_t>(to);
@@ -180,7 +182,7 @@ class DirectMessage : public Channel {
   }
 
   Worker<VertexT>* worker_;
-  std::vector<Shard> shards_;                 ///< per compute slot
+  std::vector<Shard> shards_;                 ///< per compute chunk
   std::vector<std::vector<ValT>> incoming_;   ///< per local vertex
   std::vector<std::vector<std::uint32_t>> recv_touched_;  ///< per slot
   std::vector<std::pair<const std::byte*, std::uint32_t>> spans_;

@@ -177,6 +177,17 @@ class EngineBase {
     stats_.supersteps = step_;
     stats_.message_bytes = env_.exchange->sent_bytes(env_.rank);
     stats_.message_batches = env_.exchange->sent_batches(env_.rank);
+    // This rank's contribution to the per-rank compute-time vector; the
+    // stats folds (in-process loop, TCP gather) concatenate these in
+    // ascending rank order, so the merged record's max/mean is the
+    // cross-rank load imbalance the partitioner left behind. CPU time
+    // when the engine metered it (the channel Worker does) — wall time
+    // would converge across ranks on an oversubscribed host and hide the
+    // skew; engines that don't meter CPU fall back to their compute wall
+    // split.
+    stats_.rank_compute_seconds.assign(
+        1, compute_cpu_seconds_ > 0.0 ? compute_cpu_seconds_
+                                      : stats_.compute_seconds);
     finish_stats();
     return stats_;
   }
@@ -216,6 +227,9 @@ class EngineBase {
   detail::Env env_;
   int step_ = 0;
   runtime::RunStats stats_;
+  /// Compute-phase CPU seconds this rank burned (engines that meter their
+  /// compute phases accumulate here; feeds rank_compute_seconds).
+  double compute_cpu_seconds_ = 0.0;
   int comm_threads_ = runtime::comm_threads_from_env();
   bool parallel_delivery_enabled_ = runtime::parallel_delivery_from_env();
   bool pipeline_enabled_ = runtime::pipeline_from_env();

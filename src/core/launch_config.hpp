@@ -19,6 +19,10 @@
 //   PGCH_HOSTS      optional comma-separated per-rank "host[:port]" list
 //                   for multi-host runs; missing entries default to
 //                   127.0.0.1:PGCH_PORT_BASE+r
+//   PGCH_PARTITION  optional partitioner selection ("range" | "degree" |
+//                   "hash") for the env-driven entry points that build
+//                   the distributed graph (benches, tools); must be
+//                   identical on every rank of a team
 
 #include <cstdlib>
 #include <stdexcept>
@@ -38,6 +42,12 @@ struct LaunchConfig {
   /// Per-rank "host[:port]" endpoints; empty or short = loopback defaults.
   std::vector<std::string> hosts;
   double connect_timeout_s = 30.0;
+  /// Partitioner name ("range" | "degree" | "hash"; empty = the caller's
+  /// default). launch() consumes an already-partitioned DistributedGraph,
+  /// so this field is advisory: env-driven entry points pass it (via
+  /// graph::parse_partition_kind / make_partition) when building the
+  /// graph, which keeps every rank of a TCP team on the same partition.
+  std::string partition;
 
   /// The PGCH_* environment form above; unset variables leave defaults.
   static LaunchConfig from_env() {
@@ -58,6 +68,9 @@ struct LaunchConfig {
     }
     if (const char* p = std::getenv("PGCH_PORT_BASE")) {
       cfg.port_base = std::atoi(p);
+    }
+    if (const char* part = std::getenv("PGCH_PARTITION")) {
+      cfg.partition = part;
     }
     if (const char* h = std::getenv("PGCH_HOSTS")) {
       std::string entry;

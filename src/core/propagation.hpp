@@ -92,9 +92,9 @@ class Propagation : public Channel {
     push(lidx);
   }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  void begin_compute(int num_chunks) override { par_.open(num_chunks); }
 
-  /// Replay seed pushes in slot order so the BFS queue starts in the
+  /// Replay seed pushes in chunk order so the BFS queue starts in the
   /// sequential (vertex) order. add_edge() writes only per-vertex
   /// adjacency and needs no staging.
   void end_compute() override {
@@ -258,7 +258,7 @@ class Propagation : public Channel {
 
   // Parallel compute staging for the shared seed queue (see
   // Channel::begin_compute).
-  detail::SlotStagedLog<std::uint32_t> par_;
+  detail::ChunkStagedLog<std::uint32_t> par_;
 };
 
 }  // namespace pregel::core

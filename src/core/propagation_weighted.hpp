@@ -89,9 +89,9 @@ class PropagationW : public Channel {
     return vals_[w().current_local()];
   }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  void begin_compute(int num_chunks) override { par_.open(num_chunks); }
 
-  /// Replay seed pushes in slot order (sequential vertex order); see
+  /// Replay seed pushes in chunk order (sequential vertex order); see
   /// Propagation::end_compute.
   void end_compute() override {
     par_.replay([this](std::uint32_t lidx) { push(lidx); });
@@ -249,7 +249,7 @@ class PropagationW : public Channel {
 
   // Parallel compute staging for the shared seed queue (see
   // Channel::begin_compute).
-  detail::SlotStagedLog<std::uint32_t> par_;
+  detail::ChunkStagedLog<std::uint32_t> par_;
 };
 
 }  // namespace pregel::core

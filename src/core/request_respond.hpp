@@ -63,7 +63,7 @@ class RequestRespond : public Channel {
     requests_.push_back(dst);
   }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  void begin_compute(int num_chunks) override { par_.open(num_chunks); }
 
   void end_compute() override {
     par_.replay([this](const KeyT dst) { requests_.push_back(dst); });
@@ -300,7 +300,7 @@ class RequestRespond : public Channel {
 
   // Parallel compute staging for the shared request list (see
   // Channel::begin_compute).
-  detail::SlotStagedLog<KeyT> par_;
+  detail::ChunkStagedLog<KeyT> par_;
 };
 
 }  // namespace pregel::core

@@ -92,7 +92,7 @@ class ScatterCombine : public Channel {
     dirty_.store(true, std::memory_order_relaxed);
   }
 
-  void begin_compute(int num_slots) override { par_.open(num_slots); }
+  void begin_compute(int num_chunks) override { par_.open(num_chunks); }
 
   void end_compute() override {
     par_.replay([this](const EdgeRec& e) { edges_.push_back(e); });
@@ -346,7 +346,7 @@ class ScatterCombine : public Channel {
 
   // Parallel compute staging for the shared edge array (see
   // Channel::begin_compute); set_message() needs none.
-  detail::SlotStagedLog<EdgeRec> par_;
+  detail::ChunkStagedLog<EdgeRec> par_;
 
   // Receiver side.
   std::vector<ValT> slot_;

@@ -31,10 +31,15 @@
 // chunks the per-rank vertex loop across an intra-rank ComputePool.
 // Chunks are degree-aware: boundaries split the (out-degree + 1) prefix
 // sum, not the vertex count, so one hub-heavy chunk cannot serialize the
-// phase. Chunks stay contiguous and ascending, so the per-slot channel
-// staging replayed in slot order still reproduces the sequential call
-// sequence exactly. The default of 1 preserves the exact sequential path.
-// See DESIGN.md sections 3 and 6.
+// phase. Chunks stay contiguous and ascending, and channel staging is
+// keyed by chunk index and replayed in chunk order, so the staged call
+// sequence reproduces the sequential one exactly — regardless of which
+// slot executed which chunk. That last property is what lets PGCH_STEAL
+// (or set_steal()) swap the static slot->chunk pinning for a
+// work-stealing schedule (kStealChunksPerSlot chunks per slot, idle slots
+// steal from busy ones) with bitwise-identical results; see DESIGN.md
+// sections 3, 6 and 11. The default of 1 compute thread preserves the
+// exact sequential path.
 //
 // Divergences from the paper's listing, both engine-internal:
 //  * channel activity is agreed on globally each round (a worker whose
@@ -168,6 +173,16 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     return compute_threads_;
   }
 
+  /// Enable work stealing between compute slots (default: the PGCH_STEAL
+  /// environment variable, else off). Takes effect only with
+  /// compute_threads() > 1: the compute phase over-decomposes into
+  /// kStealChunksPerSlot chunks per slot and idle slots steal chunks from
+  /// busy ones. Results are bitwise-identical to the pinned schedule —
+  /// channel staging is chunk-keyed and replayed in chunk order (DESIGN.md
+  /// section 11). Must be set before run().
+  void set_steal(bool on) { steal_enabled_ = on; }
+  [[nodiscard]] bool steal() const noexcept { return steal_enabled_; }
+
   void activate_local(std::uint32_t lidx) override {
     this->active_.set(lidx);
   }
@@ -277,6 +292,7 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     const int threads = compute_threads_;
 
     if (threads <= 1) {
+      const double cpu0 = runtime::thread_cpu_seconds();
       if (sparse) {
         // Sparse superstep: word-scan the frontier; cost scales with the
         // active count, not V.
@@ -288,14 +304,19 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
           run_compute(lidx);
         }
       }
+      compute_cpu_seconds_ += runtime::thread_cpu_seconds() - cpu0;
       return;
     }
 
     runtime::ComputePool& pool = this->pool(threads);
-    for (Channel* c : channels_) c->begin_compute(threads);
+    // Pinned schedule: one chunk per slot (chunk index == slot index).
+    // Stealing schedule: over-decompose so a thief has grain to take.
+    const int chunks =
+        steal_enabled_ ? threads * runtime::kStealChunksPerSlot : threads;
+    for (Channel* c : channels_) c->begin_compute(chunks);
     if (sparse) {
       // Materialize the frontier (ascending), weight it by degree, and
-      // split the *list* so every slot gets a contiguous, balanced run.
+      // split the *list* so every chunk is a contiguous, balanced run.
       frontier_.clear();
       this->active_.for_each_set(
           [this](std::uint32_t lidx) { frontier_.push_back(lidx); });
@@ -306,32 +327,68 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
             frontier_weight_[i] +
             env_.dg->out(env_.rank, frontier_[i]).size() + 1;
       }
-      pool.run([&](int slot) {
-        if (slot >= threads) return;  // pool may outsize the compute phase
-        detail::t_compute_slot = slot;
-        const std::uint32_t begin =
-            chunk_begin(frontier_weight_, threads, slot);
-        const std::uint32_t end =
-            chunk_begin(frontier_weight_, threads, slot + 1);
+    }
+    const std::vector<std::uint64_t>& prefix =
+        sparse ? frontier_weight_ : degree_prefix_;
+
+    // Every chunk is a contiguous ascending index range, executed by
+    // exactly one thread; t_compute_chunk keys the channel staging,
+    // t_compute_slot keys per-thread algorithm scratch.
+    const auto run_chunk = [&](int chunk) {
+      detail::t_compute_chunk = chunk;
+      const std::uint32_t begin = chunk_begin(prefix, chunks, chunk);
+      const std::uint32_t end = chunk_begin(prefix, chunks, chunk + 1);
+      if (sparse) {
         for (std::uint32_t i = begin; i < end; ++i) {
           run_compute(frontier_[i]);
         }
-        detail::t_compute_slot = 0;
-      });
-    } else {
-      pool.run([&](int slot) {
-        if (slot >= threads) return;  // pool may outsize the compute phase
-        detail::t_compute_slot = slot;
-        const std::uint32_t begin = chunk_begin(degree_prefix_, threads, slot);
-        const std::uint32_t end =
-            chunk_begin(degree_prefix_, threads, slot + 1);
+      } else {
         for (std::uint32_t lidx = begin; lidx < end; ++lidx) {
           if (!this->active_.test(lidx)) continue;
           run_compute(lidx);
         }
+      }
+    };
+
+    // Per-slot CPU time of the phase: the slot-imbalance observability
+    // RunStats reports (resized before the fork — each slot then writes
+    // only its own element). CPU rather than wall time, so the figure
+    // survives an oversubscribed host (see thread_cpu_seconds()).
+    if (static_cast<int>(stats_.compute_slot_seconds.size()) < threads) {
+      stats_.compute_slot_seconds.resize(static_cast<std::size_t>(threads),
+                                         0.0);
+    }
+    double phase_before = 0.0;
+    for (const double s : stats_.compute_slot_seconds) phase_before += s;
+    if (steal_enabled_) {
+      runtime::ChunkScheduler sched(threads, chunks);
+      pool.run([&](int slot) {
+        if (slot >= threads) return;  // pool may outsize the compute phase
+        const double s0 = runtime::thread_cpu_seconds();
+        detail::t_compute_slot = slot;
+        for (int chunk; (chunk = sched.next(slot)) >= 0;) run_chunk(chunk);
         detail::t_compute_slot = 0;
+        detail::t_compute_chunk = 0;
+        stats_.compute_slot_seconds[static_cast<std::size_t>(slot)] +=
+            runtime::thread_cpu_seconds() - s0;
+      });
+    } else {
+      pool.run([&](int slot) {
+        if (slot >= threads) return;  // pool may outsize the compute phase
+        const double s0 = runtime::thread_cpu_seconds();
+        detail::t_compute_slot = slot;
+        run_chunk(slot);
+        detail::t_compute_slot = 0;
+        detail::t_compute_chunk = 0;
+        stats_.compute_slot_seconds[static_cast<std::size_t>(slot)] +=
+            runtime::thread_cpu_seconds() - s0;
       });
     }
+    // The rank's compute CPU total is the sum of what its slots burned
+    // this phase (the pool joined, so the slot entries are quiescent).
+    double phase_after = 0.0;
+    for (const double s : stats_.compute_slot_seconds) phase_after += s;
+    compute_cpu_seconds_ += phase_after - phase_before;
     for (Channel* c : channels_) c->end_compute();
   }
 
@@ -557,6 +614,10 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
   }
 
   int compute_threads_ = 1;
+
+  /// Work stealing between compute slots (PGCH_STEAL / set_steal()); only
+  /// meaningful with compute_threads_ > 1.
+  bool steal_enabled_ = runtime::steal_from_env();
 
   /// This rank's payload bytes of the most recent communication round —
   /// the local input of the collective bulk/pipelined fallback decision.

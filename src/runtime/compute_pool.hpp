@@ -9,9 +9,12 @@
 // stable across run() calls, so callers may key per-thread staging by slot
 // index and rely on a deterministic slot -> chunk mapping.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <ctime>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -59,6 +62,85 @@ inline bool parallel_delivery_from_env() {
   const char* env = std::getenv("PGCH_PARALLEL_DELIVERY");
   return env != nullptr && std::atoi(env) != 0;
 }
+
+/// Work stealing between compute slots, requested via PGCH_STEAL=1 (off
+/// by default; needs compute threads > 1 to take effect). The compute
+/// phase over-decomposes into kStealChunksPerSlot chunks per slot and
+/// idle slots steal chunks from busy ones; channel staging is keyed by
+/// chunk index and replayed in chunk order, so results stay
+/// bitwise-identical to the pinned schedule (DESIGN.md section 11).
+inline bool steal_from_env() {
+  const char* env = std::getenv("PGCH_STEAL");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+/// Over-decomposition factor of the stealing schedule: chunks per slot.
+/// 4x gives a thief useful grain to take without inflating the per-chunk
+/// staging bookkeeping.
+inline constexpr int kStealChunksPerSlot = 4;
+
+/// CPU seconds consumed by the CALLING thread so far. The imbalance
+/// observability (RunStats::compute_slot_seconds / rank_compute_seconds)
+/// meters compute in CPU time, not wall time: on an oversubscribed host
+/// concurrent ranks time-slice the same cores, their compute wall clocks
+/// converge, and exactly the skew the metric exists to expose disappears
+/// from it. Falls back to a wall clock where no per-thread CPU clock
+/// exists.
+inline double thread_cpu_seconds() {
+#ifdef _WIN32
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+#else
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+}
+
+/// Chunk dispenser of the stealing compute phase. Chunk indices
+/// [0, chunks) are dealt into one contiguous deque per slot (slot s
+/// initially owns the chunks a pinned schedule would have given it, split
+/// kStealChunksPerSlot ways); each slot drains its own deque front-to-back
+/// via an atomic cursor, then scans the other slots' deques in ring order
+/// and steals from whichever still has work. Which slot *executes* a chunk
+/// is scheduling-dependent; correctness only needs every chunk claimed
+/// exactly once, which the fetch_add claim guarantees.
+class ChunkScheduler {
+ public:
+  ChunkScheduler(int slots, int chunks)
+      : slots_(slots),
+        begins_(static_cast<std::size_t>(slots) + 1),
+        cursors_(static_cast<std::size_t>(slots)) {
+    for (int s = 0; s <= slots; ++s) {
+      begins_[static_cast<std::size_t>(s)] =
+          static_cast<int>(static_cast<std::int64_t>(chunks) * s / slots);
+    }
+    for (int s = 0; s < slots; ++s) {
+      cursors_[static_cast<std::size_t>(s)].store(
+          begins_[static_cast<std::size_t>(s)], std::memory_order_relaxed);
+    }
+  }
+
+  /// Claim the next chunk for `slot` (own deque first, then steal), or -1
+  /// when every deque is drained. Relaxed ordering suffices: the claim is
+  /// an atomic RMW (no chunk is handed out twice), and the pool's fork and
+  /// join provide the happens-before edges around the phase.
+  int next(int slot) {
+    for (int k = 0; k < slots_; ++k) {
+      const auto q = static_cast<std::size_t>((slot + k) % slots_);
+      const int c = cursors_[q].fetch_add(1, std::memory_order_relaxed);
+      if (c < begins_[q + 1]) return c;
+    }
+    return -1;
+  }
+
+ private:
+  const int slots_;
+  std::vector<int> begins_;
+  std::vector<std::atomic<int>> cursors_;
+};
 
 class ComputePool {
  public:

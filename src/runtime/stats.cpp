@@ -19,6 +19,17 @@ void merge_per_superstep(std::vector<std::uint64_t>& into,
 
 }  // namespace
 
+double RunStats::imbalance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0, peak = 0.0;
+  for (const double x : v) {
+    sum += x;
+    peak = std::max(peak, x);
+  }
+  if (sum <= 0.0) return 0.0;
+  return peak / (sum / static_cast<double>(v.size()));
+}
+
 void RunStats::merge_from(const RunStats& other) {
   // Wall time: ranks run concurrently, the run takes as long as the
   // slowest rank. The compute/communication split is maxed the same way
@@ -76,6 +87,21 @@ void RunStats::merge_from(const RunStats& other) {
         "RunStats::merge_from: ranks disagree on the per-superstep "
         "direction — the push/pull decision must be collective");
   }
+  // Per-slot compute time is a wall quantity like the phase split above:
+  // the team figure for slot s is the slowest rank's slot s.
+  if (other.compute_slot_seconds.size() > compute_slot_seconds.size()) {
+    compute_slot_seconds.resize(other.compute_slot_seconds.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < other.compute_slot_seconds.size(); ++i) {
+    compute_slot_seconds[i] =
+        std::max(compute_slot_seconds[i], other.compute_slot_seconds[i]);
+  }
+  // Per-rank compute time concatenates: both fold paths (the in-process
+  // loop and the TCP gather at rank 0) merge ranks in ascending order, so
+  // index r stays rank r's figure.
+  rank_compute_seconds.insert(rank_compute_seconds.end(),
+                              other.rank_compute_seconds.begin(),
+                              other.rank_compute_seconds.end());
 }
 
 void RunStats::serialize(Buffer& out) const {
@@ -105,6 +131,8 @@ void RunStats::serialize(Buffer& out) const {
   out.write_vector(bytes_per_superstep);
   out.write_vector(chunks_per_superstep);
   out.write_vector(direction_per_superstep);
+  out.write_vector(compute_slot_seconds);
+  out.write_vector(rank_compute_seconds);
 }
 
 RunStats RunStats::deserialize(Buffer& in) {
@@ -134,6 +162,8 @@ RunStats RunStats::deserialize(Buffer& in) {
   s.bytes_per_superstep = in.read_vector<std::uint64_t>();
   s.chunks_per_superstep = in.read_vector<std::uint64_t>();
   s.direction_per_superstep = in.read_vector<std::uint8_t>();
+  s.compute_slot_seconds = in.read_vector<double>();
+  s.rank_compute_seconds = in.read_vector<double>();
   return s;
 }
 
@@ -155,6 +185,19 @@ std::string RunStats::detailed() const {
         deliver_seconds != 0.0) {
       os << " (serialize " << serialize_seconds << " s, exchange "
          << exchange_seconds << " s, deliver " << deliver_seconds << " s)";
+    }
+    os << "\n";
+  }
+  if (!rank_compute_seconds.empty() || !compute_slot_seconds.empty()) {
+    os << "  imbalance (max/mean compute CPU):";
+    if (!rank_compute_seconds.empty()) {
+      os << " ranks " << std::fixed << std::setprecision(2)
+         << rank_imbalance() << "x over " << rank_compute_seconds.size();
+    }
+    if (!compute_slot_seconds.empty()) {
+      os << (rank_compute_seconds.empty() ? "" : ",") << " slots "
+         << std::fixed << std::setprecision(2) << slot_imbalance()
+         << "x over " << compute_slot_seconds.size();
     }
     os << "\n";
   }

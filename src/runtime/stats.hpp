@@ -81,6 +81,33 @@ struct RunStats {
   /// the identical sequence; merge_from() asserts that.
   std::vector<std::uint8_t> direction_per_superstep;
 
+  /// CPU seconds each ComputePool slot burned in compute phases over the
+  /// run (index = slot; empty for sequential compute; CPU rather than
+  /// wall time so the figure survives an oversubscribed host). Skew
+  /// observability: with a pinned schedule a hub-heavy chunk shows up as
+  /// one slot far above the mean; work stealing flattens it. merge_from()
+  /// takes the element-wise max across ranks (the slowest rank's slot is
+  /// what the barrier waits on).
+  std::vector<double> compute_slot_seconds;
+
+  /// CPU seconds each *rank* burned in its compute phases, in rank order
+  /// (engines record their own figure at the end of run(); merge_from()
+  /// concatenates, and both the in-process and the TCP stats folds merge
+  /// in ascending rank order). The max/mean of this vector is the
+  /// cross-rank load imbalance a partitioner leaves behind.
+  std::vector<double> rank_compute_seconds;
+
+  /// Max/mean imbalance of a nonnegative sample vector: 1.0 = perfectly
+  /// balanced, W = one of W entries did all the work. 0.0 when the vector
+  /// is empty or all-zero (no signal).
+  [[nodiscard]] static double imbalance(const std::vector<double>& v);
+  [[nodiscard]] double slot_imbalance() const {
+    return imbalance(compute_slot_seconds);
+  }
+  [[nodiscard]] double rank_imbalance() const {
+    return imbalance(rank_compute_seconds);
+  }
+
   /// Record one superstep's frontier size (engines call this at superstep
   /// start, after begin_superstep()).
   void note_active(std::uint64_t n) {

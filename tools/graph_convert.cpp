@@ -5,6 +5,11 @@
 // Usage:
 //   graph_convert <input.txt|input.bin> <output.bin>   convert to snapshot
 //   graph_convert --info <input>                       print graph stats
+//   graph_convert --stats <input>                      + degree distribution
+//
+// --stats adds the out- and in-degree percentiles (p50/p90/p99/max) — the
+// numbers that pick a PGCH_MIRROR_DEGREE hub threshold or predict how
+// skewed a range partition of the id space will be.
 //
 // The output snapshot reloads in milliseconds via graph::load_binary /
 // graph::load_any; every example binary and the benches (PGCH_DATASET_*
@@ -12,9 +17,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
@@ -41,10 +48,41 @@ void print_info(const char* label, const pregel::graph::CsrGraph& g) {
       static_cast<unsigned long long>(g.checksum()));
 }
 
+/// Degree value at percentile `pct` of a sorted ascending sample.
+std::uint32_t percentile(const std::vector<std::uint32_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx =
+      std::min(sorted.size() - 1, sorted.size() * static_cast<std::size_t>(pct) / 100);
+  return sorted[idx];
+}
+
+void print_degree_row(const char* label, std::vector<std::uint32_t> degrees) {
+  std::sort(degrees.begin(), degrees.end());
+  std::printf("  %s degree: p50 %u, p90 %u, p99 %u, max %u\n", label,
+              percentile(degrees, 50), percentile(degrees, 90),
+              percentile(degrees, 99),
+              degrees.empty() ? 0u : degrees.back());
+}
+
+/// The degree-distribution summary --stats adds: out- and in-degree
+/// percentiles, the input to picking PGCH_MIRROR_DEGREE (mirror only the
+/// hubs, e.g. everything at/above p99) and to judging partition skew.
+void print_stats(const pregel::graph::CsrGraph& g) {
+  const pregel::graph::VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> out_deg(n, 0), in_deg(n, 0);
+  for (pregel::graph::VertexId u = 0; u < n; ++u) {
+    out_deg[u] = g.out_degree(u);
+    for (const pregel::graph::VertexId v : g.neighbors(u)) ++in_deg[v];
+  }
+  print_degree_row("out", std::move(out_deg));
+  print_degree_row("in", std::move(in_deg));
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: graph_convert <input.txt|input.bin> <output.bin>\n"
-               "       graph_convert --info <input>\n");
+               "       graph_convert --info <input>\n"
+               "       graph_convert --stats <input>\n");
   return 2;
 }
 
@@ -52,13 +90,18 @@ int usage() {
 
 int main(int argc, char** argv) {
   try {
-    if (argc == 3 &&
-        (std::string(argv[1]) == "--info" || std::string(argv[2]) == "--info")) {
-      const char* input = std::string(argv[1]) == "--info" ? argv[2] : argv[1];
+    const auto has_flag = [&](const char* flag) {
+      return argc == 3 && (std::string(argv[1]) == flag ||
+                           std::string(argv[2]) == flag);
+    };
+    if (has_flag("--info") || has_flag("--stats")) {
+      const bool stats = has_flag("--stats");
+      const char* input = argv[1][0] == '-' ? argv[2] : argv[1];
       const auto t0 = Clock::now();
       const auto g = pregel::graph::load_any(input);
       std::printf("loaded %s in %.1f ms\n", input, ms_since(t0));
       print_info(input, g);
+      if (stats) print_stats(g);
       return 0;
     }
     if (argc != 3) return usage();

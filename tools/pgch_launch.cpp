@@ -10,7 +10,8 @@
 //
 // Usage:
 //   pgch_launch -n N [--transport tcp|inprocess] [--port-base P]
-//               [--hosts h0[:p0],h1[:p1],...] [--print-only]
+//               [--hosts h0[:p0],h1[:p1],...]
+//               [--partition range|degree|hash] [--print-only]
 //               -- command [args...]
 //
 //   pgch_launch -n 2 --transport tcp -- ./example_quickstart 2000 2
@@ -40,7 +41,8 @@ struct Options {
   int world = 2;
   std::string transport = "tcp";
   int port_base = 29500;
-  std::string hosts;  // comma-separated, may be empty
+  std::string hosts;      // comma-separated, may be empty
+  std::string partition;  // PGCH_PARTITION for every rank, may be empty
   bool print_only = false;
   std::vector<char*> command;
 };
@@ -49,8 +51,9 @@ struct Options {
   if (error != nullptr) std::fprintf(stderr, "pgch_launch: %s\n", error);
   std::fprintf(stderr,
                "usage: %s -n N [--transport tcp|inprocess] [--port-base P]\n"
-               "       [--hosts h0[:p0],h1[:p1],...] [--print-only] -- "
-               "command [args...]\n",
+               "       [--hosts h0[:p0],h1[:p1],...] "
+               "[--partition range|degree|hash]\n"
+               "       [--print-only] -- command [args...]\n",
                argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -75,6 +78,8 @@ Options parse(int argc, char** argv) {
       opts.port_base = std::atoi(value());
     } else if (arg == "--hosts") {
       opts.hosts = value();
+    } else if (arg == "--partition") {
+      opts.partition = value();
     } else if (arg == "--print-only") {
       opts.print_only = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -89,6 +94,10 @@ Options parse(int argc, char** argv) {
   if (opts.transport != "tcp" && opts.transport != "inprocess") {
     usage(argv[0], "--transport must be tcp or inprocess");
   }
+  if (!opts.partition.empty() && opts.partition != "range" &&
+      opts.partition != "degree" && opts.partition != "hash") {
+    usage(argv[0], "--partition must be range, degree or hash");
+  }
   return opts;
 }
 
@@ -101,6 +110,9 @@ std::string env_prefix(const Options& opts, int rank) {
     s += " PGCH_PORT_BASE=" + std::to_string(opts.port_base);
     if (!opts.hosts.empty()) s += " PGCH_HOSTS=" + opts.hosts;
   }
+  // Every rank must build the identical partition, so the selection rides
+  // the launch environment like the transport does.
+  if (!opts.partition.empty()) s += " PGCH_PARTITION=" + opts.partition;
   return s;
 }
 
@@ -152,6 +164,9 @@ int main(int argc, char** argv) {
         setenv("PGCH_RANK", std::to_string(r).c_str(), 1);
         setenv("PGCH_PORT_BASE", std::to_string(opts.port_base).c_str(), 1);
         if (!opts.hosts.empty()) setenv("PGCH_HOSTS", opts.hosts.c_str(), 1);
+      }
+      if (!opts.partition.empty()) {
+        setenv("PGCH_PARTITION", opts.partition.c_str(), 1);
       }
       std::vector<char*> args = opts.command;
       args.push_back(nullptr);
