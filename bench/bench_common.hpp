@@ -11,11 +11,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <random>
@@ -89,6 +91,41 @@ inline CsrGraph symmetrized(const CsrGraph& g) {
   return g.to_graph().symmetrized().finalize();
 }
 
+/// Resident bytes of a dataset's CSR arrays (what a heap load pays for
+/// and an mmap load defers to page faults).
+inline std::uint64_t graph_bytes(const CsrGraph& g) {
+  return g.offsets().size_bytes() + g.dst_array().size_bytes() +
+         g.weight_array().size_bytes();
+}
+
+/// How a dataset got into memory: seconds to load-or-generate it, and its
+/// array footprint. Keyed by lowercase dataset token so record_json can
+/// attach the numbers to every row benched on that dataset.
+struct LoadStats {
+  double load_s = 0.0;
+  std::uint64_t graph_bytes = 0;
+};
+
+inline std::map<std::string, LoadStats>& load_stats_registry() {
+  static std::map<std::string, LoadStats> registry;
+  return registry;
+}
+
+inline std::string lowercased(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Record (or overwrite — load benches re-time the same dataset) how long
+/// `dataset` took to materialize and how big it is.
+inline void note_load_stats(const std::string& dataset, double load_s,
+                            std::uint64_t bytes) {
+  load_stats_registry()[lowercased(dataset)] = LoadStats{load_s, bytes};
+}
+
 /// Resolve dataset `name`: the PGCH_DATASET_<NAME> override when set
 /// (loaded via graph::load_any), else the generated stand-in, finalized.
 /// Datasets whose consumers require undirected input pass
@@ -101,11 +138,23 @@ inline CsrGraph make_dataset(const std::string& name,
   for (const char c : name) {
     env += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto note = [&](const CsrGraph& g) {
+    note_load_stats(
+        name,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count(),
+        graph_bytes(g));
+  };
   if (const char* path = std::getenv(env.c_str())) {
-    const CsrGraph g = pregel::graph::load_any(path);
-    return symmetrize_override ? symmetrized(g) : g;
+    CsrGraph g = pregel::graph::load_any(path);
+    if (symmetrize_override) g = symmetrized(g);
+    note(g);
+    return g;
   }
-  return generate().finalize();
+  CsrGraph g = generate().finalize();
+  note(g);
+  return g;
 }
 
 /// Wikipedia stand-in: skewed directed web-like graph.
@@ -409,8 +458,15 @@ inline void record_json(const std::string& raw_name,
      << ", \"slot_imbalance\": " << stats.slot_imbalance()
      << ", \"threads\": " << pregel::runtime::compute_threads_from_env()
      << ", \"comm_threads\": " << pregel::runtime::comm_threads_from_env()
-     << ", \"workers\": " << num_workers() << ", \"transport\": \""
-     << (tcp ? "tcp" : "inprocess") << "\"}";
+     << ", \"workers\": " << num_workers();
+  // How the dataset got into memory (make_dataset, or a load bench's own
+  // re-timing): seconds + array bytes ride every row of that dataset.
+  const auto ls = load_stats_registry().find(lowercased(dataset));
+  if (ls != load_stats_registry().end()) {
+    os << ", \"load_s\": " << ls->second.load_s
+       << ", \"graph_bytes\": " << ls->second.graph_bytes;
+  }
+  os << ", \"transport\": \"" << (tcp ? "tcp" : "inprocess") << "\"}";
   std::ofstream out(path, std::ios::app);
   out << os.str() << "\n";
 }

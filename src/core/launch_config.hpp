@@ -23,6 +23,11 @@
 //                   "hash") for the env-driven entry points that build
 //                   the distributed graph (benches, tools); must be
 //                   identical on every rank of a team
+//   PGCH_MMAP       optional snapshot-loader selection: "1" forces the
+//                   zero-copy mmap path for v3 snapshots, "0" forces the
+//                   heap loader, unset picks mmap automatically for v3
+//                   (graph::load_any consumes it; advisory here, like
+//                   PGCH_PARTITION)
 
 #include <cstdlib>
 #include <stdexcept>
@@ -48,6 +53,11 @@ struct LaunchConfig {
   /// graph::parse_partition_kind / make_partition) when building the
   /// graph, which keeps every rank of a TCP team on the same partition.
   std::string partition;
+  /// Snapshot-loader selection: -1 auto (mmap v3 snapshots), 0 heap, 1
+  /// mmap. Advisory like `partition`: launch() consumes an already-loaded
+  /// graph, so entry points that load snapshots pass this (as a
+  /// graph::MmapMode) to graph::load_any.
+  int mmap = -1;
 
   /// The PGCH_* environment form above; unset variables leave defaults.
   static LaunchConfig from_env() {
@@ -71,6 +81,17 @@ struct LaunchConfig {
     }
     if (const char* part = std::getenv("PGCH_PARTITION")) {
       cfg.partition = part;
+    }
+    if (const char* m = std::getenv("PGCH_MMAP")) {
+      const std::string mode(m);
+      if (mode == "1") {
+        cfg.mmap = 1;
+      } else if (mode == "0") {
+        cfg.mmap = 0;
+      } else if (!mode.empty()) {
+        throw std::invalid_argument("PGCH_MMAP must be '1' or '0', got '" +
+                                    mode + "'");
+      }
     }
     if (const char* h = std::getenv("PGCH_HOSTS")) {
       std::string entry;

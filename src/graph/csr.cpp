@@ -20,15 +20,19 @@ std::uint64_t fnv1a64(std::uint64_t h, const void* data, std::size_t bytes) {
 
 }  // namespace
 
-CsrGraph CsrGraph::from_arrays(std::vector<std::uint64_t> offsets,
-                               std::vector<VertexId> dst,
-                               std::vector<Weight> weights) {
+void CsrGraph::validate(std::span<const std::uint64_t> offsets,
+                        std::span<const VertexId> dst,
+                        std::span<const Weight> weights, bool deep) {
   if (offsets.empty()) {
     throw std::invalid_argument("CsrGraph: offsets must have >= 1 entry");
   }
   if (offsets.front() != 0 || offsets.back() != dst.size()) {
     throw std::invalid_argument("CsrGraph: offsets must run 0..num_edges");
   }
+  if (!weights.empty() && weights.size() != dst.size()) {
+    throw std::invalid_argument("CsrGraph: weights must be empty or |E|");
+  }
+  if (!deep) return;
   for (std::size_t u = 1; u < offsets.size(); ++u) {
     if (offsets[u] < offsets[u - 1]) {
       throw std::invalid_argument("CsrGraph: offsets must be non-decreasing");
@@ -38,13 +42,38 @@ CsrGraph CsrGraph::from_arrays(std::vector<std::uint64_t> offsets,
   for (const VertexId d : dst) {
     if (d >= n) throw std::invalid_argument("CsrGraph: destination out of range");
   }
-  if (!weights.empty() && weights.size() != dst.size()) {
-    throw std::invalid_argument("CsrGraph: weights must be empty or |E|");
-  }
+}
+
+CsrGraph CsrGraph::adopt(OwnedArrays arrays) {
+  auto owned = std::make_shared<const OwnedArrays>(std::move(arrays));
   CsrGraph g;
-  g.offsets_ = std::move(offsets);
-  g.dst_ = std::move(dst);
-  g.weights_ = std::move(weights);
+  g.offsets_ = owned->offsets;
+  g.dst_ = owned->dst;
+  g.weights_ = owned->weights;
+  g.storage_ = std::move(owned);
+  return g;
+}
+
+CsrGraph CsrGraph::from_arrays(std::vector<std::uint64_t> offsets,
+                               std::vector<VertexId> dst,
+                               std::vector<Weight> weights) {
+  validate(offsets, dst, weights, /*deep=*/true);
+  return adopt(OwnedArrays{std::move(offsets), std::move(dst),
+                           std::move(weights)});
+}
+
+CsrGraph CsrGraph::from_view(std::span<const std::uint64_t> offsets,
+                             std::span<const VertexId> dst,
+                             std::span<const Weight> weights,
+                             std::shared_ptr<const void> keep_alive,
+                             bool deep_validate) {
+  validate(offsets, dst, weights, deep_validate);
+  CsrGraph g;
+  g.offsets_ = offsets;
+  g.dst_ = dst;
+  g.weights_ = weights;
+  g.storage_ = std::move(keep_alive);
+  g.external_storage_ = true;
   return g;
 }
 
@@ -60,24 +89,24 @@ CsrGraph CsrGraph::build_transpose() const {
   const VertexId n = num_vertices();
   const std::uint64_t m = num_edges();
 
-  CsrGraph t;
-  t.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  OwnedArrays t;
+  t.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
   // Counting pass: in-degree of every vertex...
-  for (const VertexId d : dst_) ++t.offsets_[d + 1];
+  for (const VertexId d : dst_) ++t.offsets[d + 1];
   // ...prefix-summed into the transpose's offsets.
-  for (VertexId v = 0; v < n; ++v) t.offsets_[v + 1] += t.offsets_[v];
+  for (VertexId v = 0; v < n; ++v) t.offsets[v + 1] += t.offsets[v];
 
-  t.dst_.resize(m);
-  if (!weights_.empty()) t.weights_.resize(m);
-  std::vector<std::uint64_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+  t.dst.resize(m);
+  if (!weights_.empty()) t.weights.resize(m);
+  std::vector<std::uint64_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
   for (VertexId u = 0; u < n; ++u) {
     for (std::uint64_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
       const std::uint64_t pos = cursor[dst_[i]]++;
-      t.dst_[pos] = u;
-      if (!weights_.empty()) t.weights_[pos] = weights_[i];
+      t.dst[pos] = u;
+      if (!weights_.empty()) t.weights[pos] = weights_[i];
     }
   }
-  return t;
+  return adopt(std::move(t));
 }
 
 Graph CsrGraph::to_graph() const {
@@ -99,12 +128,12 @@ std::uint64_t CsrGraph::checksum() const noexcept {
 }
 
 CsrGraph Graph::finalize() const {
-  CsrGraph csr;
-  csr.offsets_.assign(static_cast<std::size_t>(num_vertices()) + 1, 0);
+  CsrGraph::OwnedArrays csr;
+  csr.offsets.assign(static_cast<std::size_t>(num_vertices()) + 1, 0);
   for (VertexId u = 0; u < num_vertices(); ++u) {
-    csr.offsets_[u + 1] = csr.offsets_[u] + out(u).size();
+    csr.offsets[u + 1] = csr.offsets[u] + out(u).size();
   }
-  csr.dst_.resize(static_cast<std::size_t>(num_edges()));
+  csr.dst.resize(static_cast<std::size_t>(num_edges()));
 
   // First pass packs destinations and detects whether any edge carries a
   // real weight; only then is the SoA weight array paid for.
@@ -112,18 +141,18 @@ CsrGraph Graph::finalize() const {
   std::uint64_t pos = 0;
   for (VertexId u = 0; u < num_vertices(); ++u) {
     for (const Edge& e : out(u)) {
-      csr.dst_[pos++] = e.dst;
+      csr.dst[pos++] = e.dst;
       weighted |= (e.weight != Weight{1});
     }
   }
   if (weighted) {
-    csr.weights_.resize(csr.dst_.size());
+    csr.weights.resize(csr.dst.size());
     pos = 0;
     for (VertexId u = 0; u < num_vertices(); ++u) {
-      for (const Edge& e : out(u)) csr.weights_[pos++] = e.weight;
+      for (const Edge& e : out(u)) csr.weights[pos++] = e.weight;
     }
   }
-  return csr;
+  return CsrGraph::adopt(std::move(csr));
 }
 
 }  // namespace pregel::graph

@@ -10,6 +10,14 @@
 //   weights_ : num_edges() u32      — parallel to dst_; EMPTY when every
 //              edge weight is 1 (unweighted graphs pay no weight memory)
 //
+// The graph is a VIEW over storage it may or may not own: the three
+// members are `std::span`s, and a shared keep-alive handle pins whatever
+// backs them — heap vectors for built/loaded graphs, or a
+// `runtime::MappedFile` for the zero-copy snapshot path
+// (`graph::load_binary_mmap`), where the spans point straight into the
+// page cache and copies of the graph share one physical mapping. Copies
+// are therefore O(1): they alias the same immutable arrays.
+//
 // The mutable builder API stays on graph::Graph; `Graph::finalize()` packs
 // it into a CsrGraph. Engines, partitioners and I/O all consume the CSR
 // form: neighbor iteration is a linear scan of one contiguous array
@@ -18,6 +26,7 @@
 // per-list sorts. The on-disk snapshot (graph/io.hpp) is these three
 // arrays written raw behind a checksummed header — see DESIGN.md section 5.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
@@ -130,35 +139,44 @@ class EdgeSpan {
 /// factory (I/O), or the O(V+E) structural passes below.
 class CsrGraph {
  public:
-  CsrGraph() : offsets_(1, 0) {}
+  CsrGraph() = default;
 
   // The lazily-built transpose cache carries a mutex, so the special
-  // members are hand-written: copies share the (immutable) cached
-  // transpose, moves steal it, and each instance owns a fresh mutex.
+  // members are hand-written: copies share the storage handle, the spans
+  // and the (immutable) cached transpose, moves steal them, and each
+  // instance owns a fresh mutex.
   CsrGraph(const CsrGraph& other)
       : offsets_(other.offsets_),
         dst_(other.dst_),
         weights_(other.weights_),
+        storage_(other.storage_),
+        external_storage_(other.external_storage_),
         transpose_cache_(other.cached_transpose()) {}
   CsrGraph(CsrGraph&& other) noexcept
-      : offsets_(std::move(other.offsets_)),
-        dst_(std::move(other.dst_)),
-        weights_(std::move(other.weights_)),
+      : offsets_(other.offsets_),
+        dst_(other.dst_),
+        weights_(other.weights_),
+        storage_(std::move(other.storage_)),
+        external_storage_(other.external_storage_),
         transpose_cache_(std::move(other.transpose_cache_)) {}
   CsrGraph& operator=(const CsrGraph& other) {
     if (this != &other) {
       offsets_ = other.offsets_;
       dst_ = other.dst_;
       weights_ = other.weights_;
+      storage_ = other.storage_;
+      external_storage_ = other.external_storage_;
       transpose_cache_ = other.cached_transpose();
     }
     return *this;
   }
   CsrGraph& operator=(CsrGraph&& other) noexcept {
     if (this != &other) {
-      offsets_ = std::move(other.offsets_);
-      dst_ = std::move(other.dst_);
-      weights_ = std::move(other.weights_);
+      offsets_ = other.offsets_;
+      dst_ = other.dst_;
+      weights_ = other.weights_;
+      storage_ = std::move(other.storage_);
+      external_storage_ = other.external_storage_;
       transpose_cache_ = std::move(other.transpose_cache_);
     }
     return *this;
@@ -171,6 +189,29 @@ class CsrGraph {
   static CsrGraph from_arrays(std::vector<std::uint64_t> offsets,
                               std::vector<VertexId> dst,
                               std::vector<Weight> weights);
+
+  /// A graph VIEW over externally-owned arrays — the zero-copy mmap path.
+  /// `keep_alive` pins the backing storage (typically the
+  /// `runtime::MappedFile` the spans point into) for the lifetime of this
+  /// graph and every copy of it. `deep_validate` controls the O(V+E)
+  /// invariant scan (monotone offsets, in-range destinations): the mmap
+  /// loader skips it when the snapshot's checksum was already verified
+  /// for this file — the cheap structural checks (offsets run 0..E,
+  /// weights parallel to dst) always run. Throws std::invalid_argument.
+  static CsrGraph from_view(std::span<const std::uint64_t> offsets,
+                            std::span<const VertexId> dst,
+                            std::span<const Weight> weights,
+                            std::shared_ptr<const void> keep_alive,
+                            bool deep_validate = true);
+
+  /// True when the arrays live in external storage (an mmap'd snapshot)
+  /// rather than heap vectors this graph owns. External storage is shared
+  /// between processes by the page cache, so retaining it is free —
+  /// DistributedGraph::localized() keeps the whole view instead of
+  /// copying a rank's slice out of it.
+  [[nodiscard]] bool has_external_storage() const noexcept {
+    return external_storage_;
+  }
 
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(offsets_.size() - 1);
@@ -247,10 +288,16 @@ class CsrGraph {
   [[nodiscard]] std::uint64_t checksum() const noexcept;
 
   /// Structural equality over the three CSR arrays (the transpose cache
-  /// is derived state and does not participate).
+  /// and the storage backing are derived/incidental state and do not
+  /// participate — a heap-loaded and an mmap-loaded snapshot compare
+  /// equal when their arrays match byte for byte).
   friend bool operator==(const CsrGraph& a, const CsrGraph& b) {
-    return a.offsets_ == b.offsets_ && a.dst_ == b.dst_ &&
-           a.weights_ == b.weights_;
+    return std::equal(a.offsets_.begin(), a.offsets_.end(),
+                      b.offsets_.begin(), b.offsets_.end()) &&
+           std::equal(a.dst_.begin(), a.dst_.end(), b.dst_.begin(),
+                      b.dst_.end()) &&
+           std::equal(a.weights_.begin(), a.weights_.end(),
+                      b.weights_.begin(), b.weights_.end());
   }
 
   // Raw array access (I/O and tests).
@@ -267,6 +314,25 @@ class CsrGraph {
  private:
   friend class Graph;
 
+  /// The storage block an owning graph pins: the three heap vectors the
+  /// view spans point into. (External views pin a MappedFile instead.)
+  struct OwnedArrays {
+    std::vector<std::uint64_t> offsets;
+    std::vector<VertexId> dst;
+    std::vector<Weight> weights;
+  };
+
+  /// Wrap freshly-built arrays: moves them into a shared OwnedArrays
+  /// block and points the view spans at it. No validation — callers have
+  /// already established the invariants.
+  static CsrGraph adopt(OwnedArrays arrays);
+
+  /// The shared invariant checks behind from_arrays/from_view. `deep`
+  /// adds the O(V+E) monotonicity + destination-range scan.
+  static void validate(std::span<const std::uint64_t> offsets,
+                       std::span<const VertexId> dst,
+                       std::span<const Weight> weights, bool deep);
+
   void check_vertex(VertexId u) const {
     if (u >= num_vertices()) throw std::out_of_range("CsrGraph: bad vertex id");
   }
@@ -280,9 +346,19 @@ class CsrGraph {
     return transpose_cache_;
   }
 
-  std::vector<std::uint64_t> offsets_;  ///< size num_vertices()+1
-  std::vector<VertexId> dst_;           ///< size num_edges()
-  std::vector<Weight> weights_;         ///< empty, or size num_edges()
+  /// What a default-constructed (empty) graph's offsets span points at.
+  static constexpr std::uint64_t kEmptyOffsets[1] = {0};
+
+  // The view: spans over whatever `storage_` pins.
+  std::span<const std::uint64_t> offsets_{kEmptyOffsets};  ///< V+1 entries
+  std::span<const VertexId> dst_;                          ///< num_edges()
+  std::span<const Weight> weights_;  ///< empty, or num_edges()
+
+  /// Keep-alive handle for the spans' backing storage: an OwnedArrays
+  /// block (built/loaded graphs), a runtime::MappedFile (zero-copy
+  /// snapshots), or null (the empty graph). Copies share it.
+  std::shared_ptr<const void> storage_;
+  bool external_storage_ = false;
 
   // Lazily-built transpose (mutable: building it does not change the
   // graph observably). shared_ptr so copies of the graph share one

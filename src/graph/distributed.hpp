@@ -16,6 +16,13 @@
 // drops the shared graph, so a TCP-transport process retains only its own
 // slice plus the O(V) partition id maps. Adjacency queries for any other
 // rank then throw: the process genuinely does not have that data.
+//
+// Exception: when the CSR's storage is external (an mmap'ed snapshot —
+// CsrGraph::has_external_storage()), localizing copies NOTHING. The
+// "slice" is just the rank guard over the shared mapping: the pages the
+// rank never touches are never faulted in, and W ranks on one host keep
+// sharing one physical copy of the snapshot, which is the point of the
+// zero-copy loader.
 
 #include <cstdint>
 #include <memory>
@@ -69,7 +76,8 @@ class DistributedGraph {
     return partition_;
   }
   /// The shared immutable storage all rank views point into. Unavailable
-  /// on a localized view (the whole point of localizing is dropping it).
+  /// on a heap-localized view (the whole point of localizing is dropping
+  /// it); zero-copy localized views over a mapping keep it.
   [[nodiscard]] const CsrGraph& csr() const {
     if (csr_ == nullptr) {
       throw std::logic_error(
@@ -103,6 +111,9 @@ class DistributedGraph {
             " cannot serve rank " + std::to_string(rank) +
             "'s adjacency — that slice lives in another process");
       }
+      if (csr_ != nullptr) {  // zero-copy localized view over a mapping
+        return csr_->out(global_id(rank, lidx));
+      }
       const std::size_t begin = local_offsets_[lidx];
       const std::size_t len = local_offsets_[lidx + 1] - begin;
       return EdgeSpan(local_dst_.data() + begin,
@@ -129,6 +140,10 @@ class DistributedGraph {
   /// partition's id maps. This is how a multi-process rank serves its
   /// slice from a locally loaded snapshot without holding W slices' edge
   /// storage alive.
+  ///
+  /// Mapped graphs localize without copying: the shared CSR is kept (its
+  /// storage is file-backed pages, not this process's heap) and only the
+  /// rank guard is installed — untouched pages are never faulted in.
   [[nodiscard]] DistributedGraph localized(int rank) const {
     if (rank < 0 || rank >= num_workers()) {
       throw std::invalid_argument("DistributedGraph: localized rank out of "
@@ -138,6 +153,11 @@ class DistributedGraph {
       if (rank == local_rank_) return *this;
       throw std::logic_error(
           "DistributedGraph: cannot re-localize to another rank");
+    }
+    if (csr_->has_external_storage()) {
+      DistributedGraph view = *this;
+      view.local_rank_ = rank;
+      return view;
     }
     DistributedGraph view = *this;
     const auto& members =

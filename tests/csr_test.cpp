@@ -263,8 +263,11 @@ TEST(Snapshot, UnweightedSnapshotSkipsWeightArray) {
   const CsrGraph g = erdos_renyi(256, 2048, 3).finalize();
   const auto path = temp_path("pgch_csr_uw.bin");
   save_binary(g, path);
-  // 32-byte header + (n+1) u64 offsets + m u32 dsts, no weights.
-  const auto expect_bytes = 32 + (g.num_vertices() + 1) * 8 + g.num_edges() * 4;
+  // Format v3: 64-byte header, offsets at 64, dsts at the next 64-byte
+  // boundary, no weight array (and no padding after the last array).
+  const auto align64 = [](std::uint64_t v) { return (v + 63) & ~63ull; };
+  const auto dst_off = align64(64 + (g.num_vertices() + 1ull) * 8);
+  const auto expect_bytes = dst_off + g.num_edges() * 4;
   EXPECT_EQ(std::filesystem::file_size(path), expect_bytes);
   EXPECT_EQ(load_binary(path), g);
   std::remove(path.c_str());
@@ -306,7 +309,11 @@ TEST(Snapshot, RejectsCorruptHeaderAndPayload) {
   EXPECT_THROW(load_binary(path), std::runtime_error);
 
   save_binary(g, path);
-  flip_byte(path, 32 + 9 * 8);  // an offsets entry (payload corruption)
+  flip_byte(path, 40);  // dst_off header field: breaks the canonical
+  EXPECT_THROW(load_binary(path), std::runtime_error);  // aligned layout
+
+  save_binary(g, path);
+  flip_byte(path, 64 + 9 * 8);  // an offsets entry (payload corruption)
   EXPECT_THROW(load_binary(path), std::runtime_error);
 
   save_binary(g, path);

@@ -5,13 +5,29 @@
 // Usage:
 //   graph_convert <input.txt|input.bin> <output.bin>   convert to snapshot
 //   graph_convert --info <input>                       print graph stats
-//   graph_convert --stats <input>                      + degree distribution
+//   graph_convert --stats <input>                      + snapshot layout and
+//                                                        degree distribution
+//   graph_convert --upgrade <snapshot.bin>             rewrite v2 as v3 in
+//                                                        place
+//   graph_convert --rmat <V> <E> <seed> <out.bin>      synthesize an R-MAT
+//                                                        snapshot
 //
-// --stats adds the out- and in-degree percentiles (p50/p90/p99/max) — the
-// numbers that pick a PGCH_MIRROR_DEGREE hub threshold or predict how
-// skewed a range partition of the id space will be.
+// --stats adds the snapshot's format version and per-array file offsets
+// (with their 64-byte-alignment status — the property the zero-copy mmap
+// loader needs), plus the out- and in-degree percentiles (p50/p90/p99/max)
+// — the numbers that pick a PGCH_MIRROR_DEGREE hub threshold or predict
+// how skewed a range partition of the id space will be.
 //
-// The output snapshot reloads in milliseconds via graph::load_binary /
+// --upgrade exists because only format v3 (64-byte-aligned arrays) can be
+// loaded zero-copy: a v2 snapshot heap-loads fine but load_binary_mmap
+// rejects it. The upgrade writes the v3 file next to the original,
+// verifies the reloaded checksum, then renames it over the original —
+// a crash mid-upgrade never leaves a corrupt snapshot behind.
+//
+// --rmat feeds CI and smoke tests that need a power-law v3 snapshot
+// without the bench harness (the asan job builds with benches off).
+//
+// The output snapshot reloads via graph::load_binary / load_binary_mmap /
 // graph::load_any; every example binary and the benches (PGCH_DATASET_*
 // environment overrides) accept it. Format spec: DESIGN.md section 5.
 
@@ -19,11 +35,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
 
 namespace {
@@ -78,11 +96,94 @@ void print_stats(const pregel::graph::CsrGraph& g) {
   print_degree_row("in", std::move(in_deg));
 }
 
+void print_array_offset(const char* name, std::uint64_t off) {
+  std::printf("    %-7s at %10llu (%s)\n", name,
+              static_cast<unsigned long long>(off),
+              off % 64 == 0 ? "64-byte aligned" : "UNALIGNED");
+}
+
+/// Snapshot-layout summary --stats adds for binary inputs: the format
+/// version and each array's file offset with its alignment status (the
+/// mmap loader needs v3's 64-byte alignment; v2 prints as unaligned,
+/// which is the cue to run --upgrade).
+void print_snapshot_layout(const std::string& path) {
+  const auto info = pregel::graph::snapshot_info(path);
+  if (!info) {
+    std::printf("  snapshot: not a binary snapshot (text edge list)\n");
+    return;
+  }
+  std::printf("  snapshot: format v%u (%s)\n", info->version,
+              info->version >= 3 ? "mmap-capable"
+                                 : "heap-only — run --upgrade for mmap");
+  print_array_offset("offsets", info->offsets_off);
+  print_array_offset("dst", info->dst_off);
+  if (info->weighted) print_array_offset("weights", info->weights_off);
+}
+
+/// Rewrite a v2 snapshot as v3 next to the original and rename over it.
+/// The reloaded checksum is compared before the rename, so an interrupted
+/// or failed upgrade leaves the original untouched.
+int upgrade(const std::string& path) {
+  const auto info = pregel::graph::snapshot_info(path);
+  if (!info) {
+    std::fprintf(stderr, "graph_convert: %s is not a binary snapshot\n",
+                 path.c_str());
+    return 1;
+  }
+  if (info->version >= 3) {
+    std::printf("%s is already format v%u — nothing to do\n", path.c_str(),
+                info->version);
+    return 0;
+  }
+  const auto t0 = Clock::now();
+  const auto g = pregel::graph::load_binary(path);
+  const std::string tmp = path + ".v3.tmp";
+  pregel::graph::save_binary(g, tmp);
+  const auto back = pregel::graph::load_binary_mmap(tmp);
+  if (back.checksum() != g.checksum()) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "graph_convert: upgrade verification FAILED\n");
+    return 1;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "graph_convert: cannot rename %s over %s\n",
+                 tmp.c_str(), path.c_str());
+    return 1;
+  }
+  std::printf("upgraded %s: v%u -> v3 in %.1f ms (checksum %016llx)\n",
+              path.c_str(), info->version, ms_since(t0),
+              static_cast<unsigned long long>(g.checksum()));
+  return 0;
+}
+
+/// Deterministic R-MAT snapshot straight to disk (CI smoke input).
+int make_rmat(const char* n_str, const char* m_str, const char* seed_str,
+              const std::string& out) {
+  pregel::graph::RmatOptions opts;
+  opts.num_vertices =
+      static_cast<pregel::graph::VertexId>(std::strtoull(n_str, nullptr, 10));
+  opts.num_edges = std::strtoull(m_str, nullptr, 10);
+  opts.seed = std::strtoull(seed_str, nullptr, 10);
+  if (opts.num_vertices == 0 || opts.num_edges == 0) {
+    std::fprintf(stderr, "graph_convert: --rmat needs V > 0 and E > 0\n");
+    return 2;
+  }
+  const auto t0 = Clock::now();
+  const auto g = pregel::graph::rmat(opts).finalize();
+  print_info("rmat", g);
+  pregel::graph::save_binary(g, out);
+  std::printf("wrote snapshot %s in %.1f ms\n", out.c_str(), ms_since(t0));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: graph_convert <input.txt|input.bin> <output.bin>\n"
                "       graph_convert --info <input>\n"
-               "       graph_convert --stats <input>\n");
+               "       graph_convert --stats <input>\n"
+               "       graph_convert --upgrade <snapshot.bin>\n"
+               "       graph_convert --rmat <V> <E> <seed> <out.bin>\n");
   return 2;
 }
 
@@ -94,6 +195,12 @@ int main(int argc, char** argv) {
       return argc == 3 && (std::string(argv[1]) == flag ||
                            std::string(argv[2]) == flag);
     };
+    if (argc == 6 && std::string(argv[1]) == "--rmat") {
+      return make_rmat(argv[2], argv[3], argv[4], argv[5]);
+    }
+    if (has_flag("--upgrade")) {
+      return upgrade(argv[1][0] == '-' ? argv[2] : argv[1]);
+    }
     if (has_flag("--info") || has_flag("--stats")) {
       const bool stats = has_flag("--stats");
       const char* input = argv[1][0] == '-' ? argv[2] : argv[1];
@@ -101,7 +208,10 @@ int main(int argc, char** argv) {
       const auto g = pregel::graph::load_any(input);
       std::printf("loaded %s in %.1f ms\n", input, ms_since(t0));
       print_info(input, g);
-      if (stats) print_stats(g);
+      if (stats) {
+        print_snapshot_layout(input);
+        print_stats(g);
+      }
       return 0;
     }
     if (argc != 3) return usage();

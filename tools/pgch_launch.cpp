@@ -11,7 +11,7 @@
 // Usage:
 //   pgch_launch -n N [--transport tcp|inprocess] [--port-base P]
 //               [--hosts h0[:p0],h1[:p1],...]
-//               [--partition range|degree|hash] [--print-only]
+//               [--partition range|degree|hash] [--mmap] [--print-only]
 //               -- command [args...]
 //
 //   pgch_launch -n 2 --transport tcp -- ./example_quickstart 2000 2
@@ -43,6 +43,7 @@ struct Options {
   int port_base = 29500;
   std::string hosts;      // comma-separated, may be empty
   std::string partition;  // PGCH_PARTITION for every rank, may be empty
+  bool mmap = false;      // PGCH_MMAP=1 for every rank
   bool print_only = false;
   std::vector<char*> command;
 };
@@ -53,7 +54,7 @@ struct Options {
                "usage: %s -n N [--transport tcp|inprocess] [--port-base P]\n"
                "       [--hosts h0[:p0],h1[:p1],...] "
                "[--partition range|degree|hash]\n"
-               "       [--print-only] -- command [args...]\n",
+               "       [--mmap] [--print-only] -- command [args...]\n",
                argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -80,6 +81,8 @@ Options parse(int argc, char** argv) {
       opts.hosts = value();
     } else if (arg == "--partition") {
       opts.partition = value();
+    } else if (arg == "--mmap") {
+      opts.mmap = true;
     } else if (arg == "--print-only") {
       opts.print_only = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -113,6 +116,10 @@ std::string env_prefix(const Options& opts, int rank) {
   // Every rank must build the identical partition, so the selection rides
   // the launch environment like the transport does.
   if (!opts.partition.empty()) s += " PGCH_PARTITION=" + opts.partition;
+  // Co-located ranks mapping the same v3 snapshot share one page-cache
+  // copy of it — the zero-copy loader is what makes -n 8 on one host not
+  // hold 8 heap copies of the graph.
+  if (opts.mmap) s += " PGCH_MMAP=1";
   return s;
 }
 
@@ -168,6 +175,7 @@ int main(int argc, char** argv) {
       if (!opts.partition.empty()) {
         setenv("PGCH_PARTITION", opts.partition.c_str(), 1);
       }
+      if (opts.mmap) setenv("PGCH_MMAP", "1", 1);
       std::vector<char*> args = opts.command;
       args.push_back(nullptr);
       execvp(args[0], args.data());
