@@ -64,6 +64,16 @@ class Aggregator : public Channel {
     result_ = acc;
   }
 
+  // Cross-superstep state is the published result; the staging partial
+  // is the combiner identity at the superstep boundary (serialize()
+  // resets it every round).
+  void save_state(runtime::Buffer& out) override { out.write<ValT>(result_); }
+
+  void restore_state(runtime::Buffer& in) override {
+    result_ = in.read<ValT>();
+    partial_ = combiner_.identity;
+  }
+
  private:
   Combiner<ValT> combiner_;
   ValT partial_;

@@ -7,6 +7,7 @@
 // channels, so composing optimizations = allocating several channels.
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -211,6 +212,33 @@ class Channel {
   /// Announce this superstep's direction (only ever kPull on channels
   /// whose pull_capable() is true).
   virtual void set_direction(Direction /*dir*/) {}
+
+  // ---- checkpoint/restore (DESIGN.md section 12) -------------------------
+  // A checkpointable channel persists every bit of state that outlives a
+  // superstep boundary (delivered-but-unconsumed messages, aggregator
+  // results) so a restored run replays bitwise-identically. Channels with
+  // no cross-superstep state implement these as no-ops; the default
+  // refuses, so enabling PGCH_CHECKPOINT_EVERY on a worker with a
+  // non-checkpointable channel fails loudly at the first checkpoint
+  // instead of restoring garbage after a crash.
+
+  /// Append this channel's cross-superstep state to `out`. Called at the
+  /// superstep boundary (after deliver, before the next compute).
+  virtual void save_state(runtime::Buffer& /*out*/) {
+    throw std::logic_error("channel '" + name_ +
+                           "' does not support checkpointing "
+                           "(PGCH_CHECKPOINT_EVERY requires save_state/"
+                           "restore_state)");
+  }
+
+  /// Restore state written by save_state() on a freshly initialized
+  /// channel of the same shape.
+  virtual void restore_state(runtime::Buffer& /*in*/) {
+    throw std::logic_error("channel '" + name_ +
+                           "' does not support checkpointing "
+                           "(PGCH_CHECKPOINT_EVERY requires save_state/"
+                           "restore_state)");
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 

@@ -362,6 +362,33 @@ class CombinedMessage : public Channel {
     }
   }
 
+  // ---- checkpoint/restore ------------------------------------------------
+  // Cross-superstep state is exactly the receive side: the combined
+  // value + presence flag per local vertex (messages delivered at the
+  // end of superstep N, consumed by compute in N+1). Staging shards are
+  // empty at the boundary and the pull handshake re-publishes lazily on
+  // every rank after a restore (all ranks restart from the same epoch
+  // with fresh channel objects), so neither is persisted.
+
+  void save_state(runtime::Buffer& out) override {
+    out.write_vector(slot_);
+    out.write_vector(has_);
+  }
+
+  void restore_state(runtime::Buffer& in) override {
+    slot_ = in.read_vector<ValT>();
+    has_ = in.read_vector<std::uint8_t>();
+    if (slot_.size() != num_local_limit() || has_.size() != slot_.size()) {
+      throw runtime::ProtocolError(
+          "CombinedMessage restore: checkpoint shape does not match this "
+          "rank's vertex count");
+    }
+    for (auto& touched : recv_touched_) touched.clear();
+    for (std::uint32_t lidx = 0; lidx < has_.size(); ++lidx) {
+      if (has_[lidx]) recv_touched_[0].push_back(lidx);
+    }
+  }
+
   /// Merge every shard's staging for destination ranks [begin, end) and
   /// emit one combined wire pair per unique destination. Walking shards
   /// in chunk order makes both the fold sequence (raw logs: message by

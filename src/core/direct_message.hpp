@@ -117,6 +117,27 @@ class DirectMessage : public Channel {
         });
   }
 
+  // Cross-superstep state is the delivered-but-unread inboxes; staging
+  // shards are empty at the superstep boundary where checkpoints run.
+  void save_state(runtime::Buffer& out) override {
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(incoming_.size()));
+    for (const auto& msgs : incoming_) out.write_vector(msgs);
+  }
+
+  void restore_state(runtime::Buffer& in) override {
+    const auto n = in.read<std::uint32_t>();
+    if (n != incoming_.size()) {
+      throw runtime::ProtocolError(
+          "DirectMessage restore: checkpoint shape does not match this "
+          "rank's vertex count");
+    }
+    for (auto& touched : recv_touched_) touched.clear();
+    for (std::uint32_t lidx = 0; lidx < n; ++lidx) {
+      incoming_[lidx] = in.read_vector<ValT>();
+      if (!incoming_[lidx].empty()) recv_touched_[0].push_back(lidx);
+    }
+  }
+
  private:
   struct Wire {
     std::uint32_t lidx;  ///< receiver's local index (ids are 32-bit too)

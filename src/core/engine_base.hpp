@@ -15,15 +15,21 @@
 // thread-local so user engine subclasses keep the paper's
 // default-constructor shape.
 
+#include <algorithm>
 #include <chrono>
+#include <climits>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/channel.hpp"  // detail::Env / t_env
+#include "core/launch_config.hpp"  // FaultSpec
 #include "graph/distributed.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/compute_pool.hpp"
 #include "runtime/stats.hpp"
 
@@ -155,21 +161,42 @@ class EngineBase {
     });
   }
 
+  // ---- fault tolerance (DESIGN.md section 12) ----------------------------
+
+  /// Override the env-derived checkpoint configuration
+  /// (PGCH_CHECKPOINT_EVERY / PGCH_CHECKPOINT_DIR / PGCH_RESUME). Must be
+  /// identical on every rank (the commit barrier and the restore epoch
+  /// agreement are collective) and set before run().
+  void set_checkpoint(runtime::CheckpointConfig cfg) {
+    ckpt_ = std::move(cfg);
+  }
+  [[nodiscard]] const runtime::CheckpointConfig& checkpoint_config()
+      const noexcept {
+    return ckpt_;
+  }
+
+  /// Override the env-derived fault injection spec (PGCH_FAULT). Tests
+  /// only; set before run().
+  void set_fault(FaultSpec spec) { fault_ = spec; }
+
   /// Drive the superstep loop to global quiescence. Collective: every rank
   /// of the team calls run() on its own engine instance.
   runtime::RunStats run() {
     prepare();
+    const int resume_step = negotiate_restore();
     env_.transport->barrier(env_.rank);
 
     const auto t0 = std::chrono::steady_clock::now();
-    step_ = 0;
+    step_ = resume_step;
     while (true) {
       ++step_;
+      maybe_inject_fault();
       const std::uint64_t sent_before = env_.exchange->sent_bytes(env_.rank);
       const bool any_local_active = superstep();
       stats_.bytes_per_superstep.push_back(
           env_.exchange->sent_bytes(env_.rank) - sent_before);
       if (!env_.transport->vote_any(env_.rank, any_local_active)) break;
+      maybe_checkpoint();
     }
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -217,6 +244,144 @@ class EngineBase {
   /// Hook for engine-specific stats finalization after the loop.
   virtual void finish_stats() {}
 
+  // ---- checkpoint hooks (DESIGN.md section 12) ---------------------------
+  // Engines that support checkpointing freeze every bit of state a
+  // superstep boundary carries forward (vertex values, frontier, channel
+  // receive state, accumulated stats) so a restored run replays
+  // bitwise-identically. The defaults refuse: enabling
+  // PGCH_CHECKPOINT_EVERY on an engine without them fails loudly at the
+  // first checkpoint, never silently restoring garbage.
+
+  /// Append this rank's superstep-boundary state to `out`.
+  virtual void checkpoint_save(runtime::Buffer& /*out*/) {
+    throw std::logic_error(
+        "this engine does not support checkpointing "
+        "(PGCH_CHECKPOINT_EVERY requires checkpoint_save/restore)");
+  }
+
+  /// Restore state written by checkpoint_save() after prepare() has
+  /// rebuilt the engine's fresh shape.
+  virtual void checkpoint_restore(runtime::Buffer& /*in*/) {
+    throw std::logic_error(
+        "this engine does not support checkpointing "
+        "(PGCH_CHECKPOINT_EVERY requires checkpoint_save/restore)");
+  }
+
+ private:
+  /// Collective restore-epoch agreement, run between prepare() and the
+  /// start barrier. Each rank proposes its best locally valid committed
+  /// epoch (0 when starting fresh or holding no usable file); the team
+  /// agrees on the minimum — the newest epoch EVERY rank can actually
+  /// load (a rank whose newest file is corrupt pulls the whole team back
+  /// to the previous committed epoch, which retention keeps on disk).
+  /// Returns the superstep count already executed (0 = fresh start).
+  int negotiate_restore() {
+    if (!ckpt_.enabled() && !ckpt_.resume) return 0;
+    std::uint64_t proposal = 0;
+    if (ckpt_.resume) {
+      const int marker = runtime::read_latest_marker(ckpt_.dir, num_workers());
+      int at_most = ckpt_.resume_epoch >= 0 ? ckpt_.resume_epoch : marker;
+      if (at_most < 0) at_most = INT_MAX;  // no marker: scan everything
+      const int best = runtime::latest_valid_epoch(ckpt_.dir, env_.rank,
+                                                   num_workers(), at_most);
+      if (best > 0) proposal = static_cast<std::uint64_t>(best);
+    }
+    runtime::Buffer local;
+    local.write<std::uint64_t>(proposal);
+    std::vector<runtime::Buffer> all =
+        env_.transport->gather_to_root(env_.rank, local);
+    runtime::Buffer agreed_blob;
+    if (env_.rank == 0) {
+      std::uint64_t agreed = proposal;
+      for (runtime::Buffer& b : all) {
+        agreed = std::min(agreed, b.read<std::uint64_t>());
+      }
+      agreed_blob.write<std::uint64_t>(agreed);
+    }
+    env_.transport->broadcast_from_root(env_.rank, &agreed_blob);
+    agreed_blob.rewind();
+    const int epoch = static_cast<int>(agreed_blob.read<std::uint64_t>());
+    if (epoch <= 0) return 0;
+    runtime::Buffer payload = runtime::load_checkpoint(
+        ckpt_.dir, env_.rank, num_workers(), epoch);
+    checkpoint_restore(payload);
+    last_committed_ = epoch;
+    std::fprintf(stderr,
+                 "[pgch] rank %d: restored checkpoint epoch %d, resuming at "
+                 "superstep %d\n",
+                 env_.rank, epoch, epoch + 1);
+    return epoch;
+  }
+
+  /// Two-phase checkpoint commit at the superstep boundary (only reached
+  /// when the quiescence vote said "continue"). Phase one: every rank
+  /// durably writes ckpt_r<rank>_e<step>.bin (temp + fsync + rename).
+  /// Phase two: the barrier proves every file exists, then rank 0
+  /// publishes the LATEST marker — so the marker never names an epoch
+  /// with a missing or partial file. Retention keeps the previous
+  /// committed epoch as the fallback for a corrupt newest file.
+  void maybe_checkpoint() {
+    if (!ckpt_.enabled() || step_ % ckpt_.every != 0) return;
+    runtime::Buffer payload;
+    checkpoint_save(payload);
+    runtime::write_checkpoint(ckpt_.dir, env_.rank, num_workers(), step_,
+                              payload);
+    env_.transport->barrier(env_.rank);
+    if (env_.rank == 0) {
+      runtime::write_latest_marker(ckpt_.dir, step_, num_workers());
+    }
+    const int prev = last_committed_;
+    last_committed_ = step_;
+    if (prev > 0) runtime::prune_checkpoints(ckpt_.dir, env_.rank, prev);
+  }
+
+  /// Deterministic fault trigger, fired at the START of the matching
+  /// superstep — after the previous boundary's checkpoint committed,
+  /// before any of this superstep's collectives.
+  void maybe_inject_fault() {
+    if (!fault_.matches(env_.rank, step_)) return;
+    switch (fault_.kind) {
+      case FaultSpec::Kind::kExit:
+        std::fprintf(stderr,
+                     "[pgch] rank %d: injected fault: exit(%d) at superstep "
+                     "%d\n",
+                     env_.rank, FaultSpec::kExitCode, step_);
+        std::fflush(stderr);
+        std::_Exit(FaultSpec::kExitCode);
+      case FaultSpec::Kind::kHang:
+        std::fprintf(stderr,
+                     "[pgch] rank %d: injected fault: hanging at superstep "
+                     "%d\n",
+                     env_.rank, step_);
+        std::fflush(stderr);
+        // Wedge without dying: peers must detect the silence via their
+        // IO timeout, and the supervisor's SIGTERM reaps us.
+        for (;;) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+      case FaultSpec::Kind::kCorrupt: {
+        const int victim = last_committed_ > 0
+                               ? last_committed_
+                               : runtime::latest_valid_epoch(
+                                     ckpt_.dir, env_.rank, num_workers(),
+                                     INT_MAX);
+        if (victim > 0) {
+          runtime::corrupt_checkpoint(ckpt_.dir, env_.rank, victim);
+        }
+        std::fprintf(stderr,
+                     "[pgch] rank %d: injected fault: corrupted checkpoint "
+                     "epoch %d, exit(%d) at superstep %d\n",
+                     env_.rank, victim, FaultSpec::kExitCode, step_);
+        std::fflush(stderr);
+        std::_Exit(FaultSpec::kExitCode);
+      }
+      case FaultSpec::Kind::kNone:
+        break;
+    }
+  }
+
+ protected:
+
   /// Timing helpers for the compute/communication wall-time split the
   /// engines accumulate into RunStats per superstep.
   using Clock = std::chrono::steady_clock;
@@ -235,6 +400,15 @@ class EngineBase {
   bool pipeline_enabled_ = runtime::pipeline_from_env();
   DirectionMode direction_mode_ = direction_mode_from_env();
   std::unique_ptr<runtime::ComputePool> pool_;
+
+  /// Checkpoint knobs (re-read from env on every engine construction, so
+  /// a recovery retry inside one process sees the resume request
+  /// launch() set) and the deterministic fault to inject, if any.
+  runtime::CheckpointConfig ckpt_ = runtime::CheckpointConfig::from_env();
+  FaultSpec fault_ = FaultSpec::from_env();
+  /// Newest committed checkpoint epoch this run wrote or restored; the
+  /// previous one is the retention fallback until the next commit.
+  int last_committed_ = -1;
 };
 
 }  // namespace pregel::core

@@ -29,6 +29,7 @@
 //                   (graph::load_any consumes it; advisory here, like
 //                   PGCH_PARTITION)
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -39,6 +40,102 @@
 
 namespace pregel::core {
 
+/// Deterministic fault injection (DESIGN.md section 12): the harness that
+/// makes every failure mode of the fault-tolerance stack reproducible in
+/// ctest. Parsed from
+///
+///   PGCH_FAULT=rank=<r>,superstep=<s>,kind=exit|hang|corrupt
+///
+/// and triggered by EngineBase at the START of superstep <s> on rank <r>
+/// only — before that superstep's compute, after the previous superstep's
+/// checkpoint, so the last committed epoch is exactly what the superstep
+/// numbering implies.
+///
+///   exit     _Exit(kExitCode) without unwinding — a hard crash. Peers see
+///            the socket close and surface a TransportError.
+///   hang     stop making progress (interruptible sleep) without dying —
+///            a wedged rank. Peers' PGCH_IO_TIMEOUT_MS silence deadline
+///            surfaces the TransportError; the supervisor's teardown
+///            SIGTERM reaps the sleeper.
+///   corrupt  flip a byte in this rank's newest checkpoint file, then
+///            _Exit — recovery must reject the damaged epoch and fall
+///            back to the previous committed one.
+struct FaultSpec {
+  enum class Kind { kNone, kExit, kHang, kCorrupt };
+
+  /// Exit status of an injected exit/corrupt fault — recognizably ours,
+  /// so pgch_launch tests can assert the propagated code.
+  static constexpr int kExitCode = 43;
+
+  int rank = -1;
+  int superstep = -1;
+  Kind kind = Kind::kNone;
+
+  [[nodiscard]] bool enabled() const noexcept { return kind != Kind::kNone; }
+  [[nodiscard]] bool matches(int r, int step) const noexcept {
+    return enabled() && r == rank && step == superstep;
+  }
+
+  /// PGCH_FAULT; unset or empty = no fault. Malformed values throw — a
+  /// fault spec that silently parses to "no fault" would make a failure
+  /// test vacuously pass.
+  static FaultSpec from_env() {
+    const char* text = std::getenv("PGCH_FAULT");
+    if (text == nullptr || text[0] == '\0') return {};
+    return parse(text);
+  }
+
+  static FaultSpec parse(const std::string& text) {
+    FaultSpec spec;
+    std::string key, value;
+    bool in_value = false;
+    const auto apply = [&spec](const std::string& k, const std::string& v) {
+      if (k == "rank") {
+        spec.rank = std::atoi(v.c_str());
+      } else if (k == "superstep") {
+        spec.superstep = std::atoi(v.c_str());
+      } else if (k == "kind") {
+        if (v == "exit") {
+          spec.kind = Kind::kExit;
+        } else if (v == "hang") {
+          spec.kind = Kind::kHang;
+        } else if (v == "corrupt") {
+          spec.kind = Kind::kCorrupt;
+        } else {
+          throw std::invalid_argument(
+              "PGCH_FAULT: kind must be exit|hang|corrupt, got '" + v + "'");
+        }
+      } else {
+        throw std::invalid_argument("PGCH_FAULT: unknown key '" + k + "'");
+      }
+    };
+    for (const char* c = text.c_str();; ++c) {
+      if (*c == ',' || *c == '\0') {
+        if (!in_value || key.empty()) {
+          throw std::invalid_argument(
+              "PGCH_FAULT: expected rank=<r>,superstep=<s>,kind=<k>, got '" +
+              text + "'");
+        }
+        apply(key, value);
+        key.clear();
+        value.clear();
+        in_value = false;
+        if (*c == '\0') break;
+      } else if (*c == '=' && !in_value) {
+        in_value = true;
+      } else {
+        (in_value ? value : key) += *c;
+      }
+    }
+    if (spec.kind == Kind::kNone || spec.rank < 0 || spec.superstep < 1) {
+      throw std::invalid_argument(
+          "PGCH_FAULT: needs rank>=0, superstep>=1 and a kind, got '" + text +
+          "'");
+    }
+    return spec;
+  }
+};
+
 struct LaunchConfig {
   runtime::TransportKind transport = runtime::TransportKind::kInProcess;
   int rank = 0;        ///< this process's rank (kTcp only)
@@ -47,6 +144,11 @@ struct LaunchConfig {
   /// Per-rank "host[:port]" endpoints; empty or short = loopback defaults.
   std::vector<std::string> hosts;
   double connect_timeout_s = 30.0;
+  /// How many times launch() rejoins the team after a TransportError
+  /// (PGCH_RECOVERY_ATTEMPTS, default 0 = fail fast). Each retry tears
+  /// the transport down, re-runs the mesh handshake, and restores the
+  /// last committed checkpoint epoch the surviving team agrees on.
+  int recovery_attempts = 0;
   /// Partitioner name ("range" | "degree" | "hash"; empty = the caller's
   /// default). launch() consumes an already-partitioned DistributedGraph,
   /// so this field is advisory: env-driven entry points pass it (via
@@ -78,6 +180,13 @@ struct LaunchConfig {
     }
     if (const char* p = std::getenv("PGCH_PORT_BASE")) {
       cfg.port_base = std::atoi(p);
+    }
+    if (const char* t = std::getenv("PGCH_CONNECT_TIMEOUT_MS")) {
+      const int ms = std::atoi(t);
+      if (ms > 0) cfg.connect_timeout_s = ms / 1000.0;
+    }
+    if (const char* a = std::getenv("PGCH_RECOVERY_ATTEMPTS")) {
+      cfg.recovery_attempts = std::max(0, std::atoi(a));
     }
     if (const char* part = std::getenv("PGCH_PARTITION")) {
       cfg.partition = part;

@@ -51,6 +51,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -204,7 +206,17 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     begin_superstep();
     stats_.note_active(this->active_.count());
     decide_direction();
+    // The compute phase is the one window where this thread touches no
+    // socket and no pipelined round is armed, so the transport may emit
+    // control-lane heartbeats (keeping peers' silence deadlines fed
+    // through a long compute). Pipelined runs keep the window shut: a
+    // heartbeat landing between two rounds' raw chunk streams would
+    // corrupt the peer's ChunkDecoder (docs/fault_tolerance.md).
+    const bool hb_window = !(pipeline() && env_.exchange->pipeline_capable() &&
+                             num_workers() > 1);
+    if (hb_window) env_.transport->set_heartbeat_window(env_.rank, true);
     compute_phase();
+    if (hb_window) env_.transport->set_heartbeat_window(env_.rank, false);
     const auto c1 = Clock::now();
     const double phases_before = stats_.serialize_seconds +
                                  stats_.exchange_seconds +
@@ -235,6 +247,81 @@ class Worker : public WorkerBase, public VertexColumns<VertexT> {
     stats_.frame_bytes = env_.exchange->frame_overhead_bytes(env_.rank);
     stats_.chunks_sent = env_.exchange->chunks_sent(env_.rank);
     stats_.chunks_received = env_.exchange->chunks_received(env_.rank);
+  }
+
+  // ---- checkpoint/restore (DESIGN.md section 12) -------------------------
+  // The superstep boundary carries forward: the value column, the
+  // frontier, the adaptive-direction hysteresis and the pipelined-round
+  // predictor (both inputs of collective decisions — restoring them on
+  // every rank keeps those decisions, and so the wire, bitwise identical
+  // to a failure-free run), the accumulated stats, and each channel's
+  // receive-side state. Everything else (staging shards, pull handshake
+  // epochs) is rebuilt from scratch by the fresh worker every rank
+  // constructs after recovery.
+
+  void checkpoint_save(runtime::Buffer& out) override {
+    if constexpr (runtime::TriviallySerializable<ValueT>) {
+      out.write<std::uint32_t>(num_local());
+      out.write_vector(this->values_);
+      this->active_.serialize(out);
+      out.write<std::uint8_t>(static_cast<std::uint8_t>(direction_));
+      out.write<std::uint64_t>(last_round_payload_bytes_);
+      stats_.serialize(out);
+      out.write<std::uint32_t>(static_cast<std::uint32_t>(channels_.size()));
+      for (Channel* c : channels_) {
+        out.write_string(c->name());
+        const std::size_t patch = out.reserve_u32();
+        const std::size_t before = out.size();
+        c->save_state(out);
+        out.patch_u32(patch, static_cast<std::uint32_t>(out.size() - before));
+      }
+    } else {
+      throw std::logic_error(
+          "checkpointing requires a trivially serializable vertex value "
+          "type");
+    }
+  }
+
+  void checkpoint_restore(runtime::Buffer& in) override {
+    if constexpr (runtime::TriviallySerializable<ValueT>) {
+      const auto n = in.read<std::uint32_t>();
+      if (n != num_local()) {
+        throw runtime::ProtocolError(
+            "checkpoint restore: vertex count " + std::to_string(n) +
+            " does not match this rank's slice (" +
+            std::to_string(num_local()) + ") — wrong partition or world?");
+      }
+      this->values_ = in.read_vector<ValueT>();
+      this->active_.deserialize(in);
+      direction_ = static_cast<Direction>(in.read<std::uint8_t>());
+      last_round_payload_bytes_ = in.read<std::uint64_t>();
+      stats_ = runtime::RunStats::deserialize(in);
+      const auto n_channels = in.read<std::uint32_t>();
+      if (n_channels != channels_.size()) {
+        throw runtime::ProtocolError(
+            "checkpoint restore: channel count mismatch");
+      }
+      for (Channel* c : channels_) {
+        const std::string name = in.read_string();
+        if (name != c->name()) {
+          throw runtime::ProtocolError(
+              "checkpoint restore: expected channel '" + c->name() +
+              "', found '" + name + "' (registration order changed?)");
+        }
+        const auto len = in.read<std::uint32_t>();
+        const std::size_t before = in.remaining();
+        c->restore_state(in);
+        if (before - in.remaining() != len) {
+          throw runtime::ProtocolError(
+              "checkpoint restore: channel '" + c->name() +
+              "' consumed a different size than it saved");
+        }
+      }
+    } else {
+      throw std::logic_error(
+          "checkpointing requires a trivially serializable vertex value "
+          "type");
+    }
   }
 
  private:
@@ -744,9 +831,33 @@ runtime::RunStats launch(
   const int num_workers = dg.num_workers();
 
   if (config.transport == runtime::TransportKind::kTcp) {
-    const auto transport = connect_tcp(config, num_workers);
-    return launch_distributed<WorkerT>(dg, *transport, config.rank,
-                                       configure, collect);
+    // Survivor-side recovery (DESIGN.md section 12): when a peer dies
+    // mid-run the transport surfaces a TransportError. With recovery
+    // attempts configured (PGCH_RECOVERY_ATTEMPTS — pgch_launch sets it
+    // alongside --max-restarts), this rank tears the dead mesh down,
+    // requests a checkpoint restore from the engine it is about to
+    // rebuild (PGCH_RESUME=auto — process-local, one process per rank
+    // under kTcp), re-runs the mesh handshake (waiting for the
+    // supervisor's respawned rank), and replays from the last committed
+    // epoch the surviving team agrees on.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        const auto transport = connect_tcp(config, num_workers);
+        return launch_distributed<WorkerT>(dg, *transport, config.rank,
+                                           configure, collect);
+      } catch (const runtime::TransportError& e) {
+        if (attempt >= config.recovery_attempts) throw;
+        std::fprintf(stderr,
+                     "[pgch] rank %d: transport failure (%s); rejoining the "
+                     "team (attempt %d of %d)\n",
+                     config.rank, e.what(), attempt + 1,
+                     config.recovery_attempts);
+        std::fflush(stderr);
+#ifndef _WIN32
+        ::setenv("PGCH_RESUME", "auto", 1);
+#endif
+      }
+    }
   }
 
   runtime::InProcessTransport transport(num_workers);

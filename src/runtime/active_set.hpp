@@ -26,6 +26,8 @@
 #include <iterator>
 #include <memory>
 
+#include "runtime/buffer.hpp"
+
 namespace pregel::runtime {
 
 class ActiveSet {
@@ -82,6 +84,32 @@ class ActiveSet {
           std::memory_order_relaxed);
     }
     count_.store(value ? size_ : 0, std::memory_order_relaxed);
+  }
+
+  /// Checkpoint the whole frontier: size + raw word dump. Not
+  /// thread-safe against concurrent set/clear — call between supersteps
+  /// (the engine checkpoints at the superstep boundary, where the set is
+  /// quiescent).
+  void serialize(Buffer& out) const {
+    out.write<std::uint32_t>(size_);
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      out.write<std::uint64_t>(words_[w].load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Restore a frontier checkpointed by serialize(). Rebuilds the cached
+  /// popcount from the words, so a restored set votes exactly like the
+  /// original.
+  void deserialize(Buffer& in) {
+    const auto n = in.read<std::uint32_t>();
+    reset(n, false);
+    std::uint32_t bits = 0;
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      const auto word = in.read<std::uint64_t>();
+      words_[w].store(word, std::memory_order_relaxed);
+      bits += static_cast<std::uint32_t>(std::popcount(word));
+    }
+    count_.store(bits, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint32_t size() const noexcept { return size_; }

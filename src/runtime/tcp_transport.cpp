@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -29,6 +31,17 @@ namespace {
 constexpr std::uint8_t kMsgData = 1;     ///< one exchange-round outbox
 constexpr std::uint8_t kMsgControl = 2;  ///< one u64 of the control lane
 constexpr std::uint8_t kMsgBlob = 3;     ///< gather/broadcast payload
+constexpr std::uint8_t kMsgHeartbeat = 4;  ///< empty liveness beacon
+
+/// Non-negative integer knob from the environment; `fallback` when unset
+/// or unparsable. Parsed per transport so a recovery attempt (a fresh
+/// transport in the same process) picks up any changes.
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
 
 /// Connection handshake, sent by the connecting (higher-rank accepts /
 /// lower-rank listens is NOT the scheme — see connect_mesh: rank r
@@ -102,9 +115,28 @@ void raw_send_all(int fd, const void* data, std::size_t n, int peer) {
   }
 }
 
-void raw_recv_all(int fd, void* data, std::size_t n, int peer) {
+/// Full-length EINTR-safe receive. `timeout_ms > 0` bounds the silence
+/// gap, not the total transfer: every received byte resets the clock, so
+/// a slow-but-alive peer never trips it, while a hung or dead one
+/// surfaces as TransportError within one gap instead of blocking forever.
+void raw_recv_all(int fd, void* data, std::size_t n, int peer,
+                  int timeout_ms = 0) {
   auto* p = static_cast<char*>(data);
   while (n > 0) {
+    if (timeout_ms > 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) throw_errno("poll for rank " + std::to_string(peer));
+      if (rc == 0) {
+        throw TransportError(
+            "TcpTransport: no data from rank " + std::to_string(peer) +
+            " for " + std::to_string(timeout_ms) +
+            " ms (peer hung or network stalled; PGCH_IO_TIMEOUT_MS)");
+      }
+    }
     const ssize_t got = ::recv(fd, p, n, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
@@ -172,6 +204,9 @@ void TcpTransport::ensure_pipes() {}
 void TcpTransport::stop_pipes() noexcept {}
 TcpPeerPipe& TcpTransport::pipe(int) { throw TransportError("unsupported"); }
 void TcpTransport::pace_wire(std::size_t) {}
+void TcpTransport::set_heartbeat_window(int, bool) {}
+void TcpTransport::heartbeat_main() {}
+void TcpTransport::stop_heartbeat() noexcept {}
 
 #else  // POSIX implementation
 
@@ -270,7 +305,8 @@ struct TcpPeerPipe {
           const std::size_t need = decoder.bytes_needed();
           if (need == 0) break;
           scratch.resize(need);
-          raw_recv_all(fd, scratch.data(), need, peer);
+          raw_recv_all(fd, scratch.data(), need, peer,
+                       owner->io_timeout_ms_);
           decoder.feed(scratch.data(), need);
           DecodedChunk c;
           while (decoder.next(&c)) {
@@ -311,19 +347,49 @@ TcpTransport::TcpTransport(int rank, int world_size,
   if (rank < 0 || rank >= world_size) {
     throw std::invalid_argument("TcpTransport: rank out of range");
   }
+
+  io_timeout_ms_ = env_int("PGCH_IO_TIMEOUT_MS", 0);
+  heartbeat_ms_ = env_int("PGCH_HEARTBEAT_MS", 0);
+  connect_retries_ = env_int("PGCH_CONNECT_RETRIES", 0);
+
   if (world_ == 1) {
     connected_ = true;  // no sockets needed
     return;
   }
 
+  // MSG_NOSIGNAL covers our own sends, but a write on a dying socket from
+  // code that forgot the flag (or a libc path that strips it) must surface
+  // as EPIPE -> TransportError, never kill the process. Once per process.
+  static const bool sigpipe_ignored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)sigpipe_ignored;
+
   const ResolvedAddr bound = resolve(listen);
-  listen_fd_ = ::socket(bound.family, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&bound.addr),
-             bound.len) != 0) {
-    throw_errno("bind " + listen.host + ":" + std::to_string(listen.port));
+  // A freshly vacated port (a crashed rank being respawned, or a test
+  // that just tore down a mesh) can linger in TIME_WAIT past what
+  // SO_REUSEADDR forgives, or still be held by the dying process for a
+  // beat. Retry the bind with deterministic exponential backoff before
+  // giving up — the same policy the test harness used to carry.
+  constexpr int kBindAttempts = 5;
+  for (int attempt = 0;; ++attempt) {
+    listen_fd_ = ::socket(bound.family, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&bound.addr),
+               bound.len) == 0) {
+      break;
+    }
+    const int bind_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (bind_errno != EADDRINUSE || attempt + 1 >= kBindAttempts) {
+      errno = bind_errno;
+      throw_errno("bind " + listen.host + ":" + std::to_string(listen.port));
+    }
+    ::usleep(static_cast<useconds_t>(25'000) << attempt);
   }
   if (::listen(listen_fd_, world_) != 0) throw_errno("listen");
 
@@ -341,6 +407,7 @@ TcpTransport::TcpTransport(int rank, int world_size,
 }
 
 TcpTransport::~TcpTransport() {
+  stop_heartbeat();
   stop_pipes();
   for (const int fd : fds_) {
     if (fd >= 0) ::close(fd);
@@ -368,7 +435,12 @@ void TcpTransport::connect_mesh(const std::vector<TcpEndpoint>& peers,
   for (int peer = 0; peer < rank_; ++peer) {
     const ResolvedAddr target = resolve(peers[static_cast<std::size_t>(peer)]);
     int fd = -1;
-    while (true) {
+    // Deterministic exponential backoff between attempts (25 ms doubling,
+    // capped at 1 s) bounded by the wall-clock deadline and, when
+    // PGCH_CONNECT_RETRIES is set, by an attempt count — so a peer that
+    // will never come up fails fast and reproducibly instead of spinning
+    // out the whole timeout.
+    for (int attempt = 0;; ++attempt) {
       fd = ::socket(target.family, SOCK_STREAM, 0);
       if (fd < 0) throw_errno("socket");
       if (::connect(fd, reinterpret_cast<const sockaddr*>(&target.addr),
@@ -377,14 +449,24 @@ void TcpTransport::connect_mesh(const std::vector<TcpEndpoint>& peers,
       }
       ::close(fd);
       fd = -1;
-      if (monotonic_seconds() > deadline) {
-        throw TransportError(
-            "TcpTransport: rank " + std::to_string(rank_) +
-            " timed out connecting to rank " + std::to_string(peer) + " at " +
-            peers[static_cast<std::size_t>(peer)].host + ":" +
-            std::to_string(peers[static_cast<std::size_t>(peer)].port));
+      const std::string where =
+          " to rank " + std::to_string(peer) + " at " +
+          peers[static_cast<std::size_t>(peer)].host + ":" +
+          std::to_string(peers[static_cast<std::size_t>(peer)].port);
+      if (connect_retries_ > 0 && attempt + 1 >= connect_retries_) {
+        throw TransportError("TcpTransport: rank " + std::to_string(rank_) +
+                             " gave up connecting" + where + " after " +
+                             std::to_string(attempt + 1) +
+                             " attempts (PGCH_CONNECT_RETRIES)");
       }
-      ::usleep(30'000);
+      if (monotonic_seconds() > deadline) {
+        throw TransportError("TcpTransport: rank " + std::to_string(rank_) +
+                             " timed out connecting" + where);
+      }
+      const useconds_t delay_us =
+          attempt < 6 ? (static_cast<useconds_t>(25'000) << attempt)
+                      : 1'000'000;
+      ::usleep(delay_us);
     }
     set_nodelay(fd);
     fds_[static_cast<std::size_t>(peer)] = fd;
@@ -569,7 +651,7 @@ void TcpTransport::send_all(int fd, const void* data, std::size_t n,
 }
 
 void TcpTransport::recv_all(int fd, void* data, std::size_t n, int peer) {
-  raw_recv_all(fd, data, n, peer);
+  raw_recv_all(fd, data, n, peer, io_timeout_ms_);
 }
 
 void TcpTransport::send_msg(int peer, std::uint8_t type, const void* data,
@@ -586,11 +668,16 @@ std::uint64_t TcpTransport::recv_msg(int peer, std::uint8_t type,
                                      Buffer* into) {
   const int fd = fds_[static_cast<std::size_t>(peer)];
   char header[sizeof(std::uint8_t) + sizeof(std::uint64_t)];
-  recv_all(fd, header, sizeof(header), peer);
   std::uint8_t got_type = 0;
   std::uint64_t len = 0;
-  std::memcpy(&got_type, header, sizeof(got_type));
-  std::memcpy(&len, header + sizeof(got_type), sizeof(len));
+  // Heartbeats are liveness beacons a busy peer interleaves between real
+  // messages; their only effect is having reset the silence deadline of
+  // the recv_all that read them. Skip to the first real message.
+  do {
+    recv_all(fd, header, sizeof(header), peer);
+    std::memcpy(&got_type, header, sizeof(got_type));
+    std::memcpy(&len, header + sizeof(got_type), sizeof(len));
+  } while (got_type == kMsgHeartbeat);
   if (got_type != type) {
     throw TransportError(
         "TcpTransport: expected message type " + std::to_string(type) +
@@ -626,6 +713,58 @@ std::uint64_t TcpTransport::recv_control(int peer) {
                          std::to_string(peer));
   }
   return b.read<std::uint64_t>();
+}
+
+// ---- heartbeats -----------------------------------------------------------
+
+void TcpTransport::set_heartbeat_window(int rank, bool open) {
+  check_local(rank, "set_heartbeat_window");
+  if (world_ == 1 || heartbeat_ms_ <= 0 || !connected_) return;
+  std::lock_guard<std::mutex> lk(hb_mu_);
+  // Taking hb_mu_ is the synchronization: the heartbeat thread writes only
+  // while holding it, so once close acquires the lock no beat is mid-wire
+  // and none will start — the sockets are the main thread's again.
+  if (open && !hb_thread_.joinable()) {
+    hb_thread_ = std::thread([this] { heartbeat_main(); });
+  }
+  hb_open_ = open;
+  hb_cv_.notify_all();
+}
+
+void TcpTransport::heartbeat_main() {
+  std::unique_lock<std::mutex> lk(hb_mu_);
+  while (true) {
+    hb_cv_.wait(lk, [&] { return hb_stop_ || hb_open_; });
+    if (hb_stop_) return;
+    for (int peer = 0; peer < world_ && hb_open_; ++peer) {
+      if (peer == rank_) continue;
+      char header[sizeof(std::uint8_t) + sizeof(std::uint64_t)];
+      const std::uint8_t type = kMsgHeartbeat;
+      const std::uint64_t len = 0;
+      std::memcpy(header, &type, sizeof(type));
+      std::memcpy(header + sizeof(type), &len, sizeof(len));
+      try {
+        raw_send_all(fds_[static_cast<std::size_t>(peer)], header,
+                     sizeof(header), peer);
+      } catch (const TransportError&) {
+        // Peer is gone. Stop beating — the main thread will hit the same
+        // failure on its own next send/receive and report it properly.
+        hb_open_ = false;
+      }
+    }
+    hb_cv_.wait_for(lk, std::chrono::milliseconds(heartbeat_ms_),
+                    [&] { return hb_stop_ || !hb_open_; });
+  }
+}
+
+void TcpTransport::stop_heartbeat() noexcept {
+  {
+    std::lock_guard<std::mutex> lk(hb_mu_);
+    hb_stop_ = true;
+    hb_open_ = false;
+  }
+  hb_cv_.notify_all();
+  if (hb_thread_.joinable()) hb_thread_.join();
 }
 
 // ---- pipelined rounds -----------------------------------------------------

@@ -24,10 +24,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/transport.hpp"
@@ -91,6 +93,21 @@ class TcpTransport final : public Transport {
   }
 
   [[nodiscard]] bool supports_pipeline() const noexcept override;
+
+  // ---- failure detection (docs/fault_tolerance.md) ----------------------
+  // PGCH_IO_TIMEOUT_MS bounds the silence gap on every receive: if a peer
+  // sends no byte for that long, the blocked receive throws TransportError
+  // instead of waiting forever (0 = wait forever, the default). To keep a
+  // healthy-but-computing peer from tripping it, the engine opens a
+  // heartbeat window around its compute phase (PGCH_HEARTBEAT_MS > 0): a
+  // lazy thread writes empty kMsgHeartbeat messages to every peer, which
+  // the receive path skips — their only effect is resetting the peer's
+  // silence deadline. Closing the window blocks until no heartbeat is in
+  // flight, so the main thread never shares a socket with a half-written
+  // beat. The engine never opens the window in pipelined rounds (raw chunk
+  // streams tolerate no interleaved bytes).
+  void set_heartbeat_window(int rank, bool open) override;
+
   void pipeline_begin(int rank) override;
   void pipeline_send(int rank, int peer, const ChunkHeader& header,
                      const void* payload) override;
@@ -123,6 +140,9 @@ class TcpTransport final : public Transport {
   void stop_pipes() noexcept;
   TcpPeerPipe& pipe(int peer);
 
+  void heartbeat_main();
+  void stop_heartbeat() noexcept;
+
   /// Sender-thread hook: delay until `bytes` more wire bytes fit the
   /// simulated link (no-op at bandwidth 0). Shared deadline across all of
   /// this rank's sender threads — concurrent peers split one link.
@@ -137,6 +157,18 @@ class TcpTransport final : public Transport {
   std::vector<Buffer> in_;
   bool connected_ = false;
   std::vector<std::unique_ptr<TcpPeerPipe>> pipes_;  ///< per peer; lazy
+
+  // Failure-detection knobs (parsed from the environment in the ctor).
+  int io_timeout_ms_ = 0;    ///< PGCH_IO_TIMEOUT_MS; 0 = wait forever
+  int heartbeat_ms_ = 0;     ///< PGCH_HEARTBEAT_MS; 0 = no heartbeats
+  int connect_retries_ = 0;  ///< PGCH_CONNECT_RETRIES; 0 = deadline only
+
+  // Heartbeat thread (lazy; see set_heartbeat_window).
+  std::thread hb_thread_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_open_ = false;
+  bool hb_stop_ = false;
 
   // Simulated-link pacing of pipelined sends (see set_simulated_bandwidth).
   std::atomic<double> sim_bandwidth_{simulated_bandwidth_bytes_per_sec()};

@@ -112,6 +112,15 @@ class Transport {
     return allreduce_or(rank, local ? 1u : 0u) != 0;
   }
 
+  /// Liveness window (DESIGN.md section 12): the engine opens it around
+  /// phases where the calling thread touches no socket and no pipelined
+  /// round is armed (the compute phase), so a transport with heartbeats
+  /// enabled (PGCH_HEARTBEAT_MS) may emit control-lane heartbeats that
+  /// keep peers' silence deadlines (PGCH_IO_TIMEOUT_MS) fed through a
+  /// long compute. Closing the window blocks until no heartbeat is in
+  /// flight. Default: no-op (in-process teams share a fate anyway).
+  virtual void set_heartbeat_window(int /*rank*/, bool /*open*/) {}
+
   /// Collective gather: rank 0 receives every rank's blob (indexed by
   /// rank, its own included); other ranks get an empty vector.
   virtual std::vector<Buffer> gather_to_root(int rank, const Buffer& local) = 0;

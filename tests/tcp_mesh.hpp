@@ -7,9 +7,11 @@
 // listen_port() and the peers connecting, the port lives in the kernel's
 // ephemeral range, and a parallel test binary (or TIME_WAIT recycling)
 // can race it — surfacing as EADDRINUSE / "Address already in use" from
-// bind or connect. That race is transient by construction, so the helper
-// retries the whole mesh build a bounded number of times with a doubling
-// backoff instead of failing the test run.
+// bind or connect. TcpTransport itself now retries the listener bind with
+// the same doubling backoff (the policy was promoted out of this helper),
+// which covers the bind side; this wrapper remains as the outer guard for
+// the cross-transport race where a *connect* lands on a recycled port, by
+// retrying the whole mesh build a bounded number of times.
 
 #include <chrono>
 #include <memory>
